@@ -1,0 +1,48 @@
+"""Ablation: the entropy stage — raw codes vs Huffman vs Huffman+DEFLATE.
+
+DESIGN.md question: why does the SZ family spend compression energy on two
+entropy stages?  Measure each stage's contribution to the final ratio on the
+SZ3 code stream.
+"""
+
+import zlib
+
+import numpy as np
+from conftest import run_once
+
+from repro.compressors.huffman import huffman_encode
+from repro.compressors.interpolation import interp_encode
+from repro.core.report import format_table
+from repro.data import generate
+
+
+def test_ablation_entropy_stage(benchmark, emit):
+    data = np.array(generate("nyx", "test"), dtype=np.float64)
+    eb = 1e-3 * float(data.max() - data.min())
+
+    def build():
+        _, _, codes, _, _ = interp_encode(data, eb)
+        raw = codes.astype(np.uint32).nbytes
+        huff = len(huffman_encode(codes))
+        huff_deflate = len(zlib.compress(huffman_encode(codes), 6))
+        deflate_only = len(zlib.compress(codes.astype(np.uint32).tobytes(), 6))
+        return raw, huff, huff_deflate, deflate_only
+
+    raw, huff, huff_deflate, deflate_only = run_once(benchmark, build)
+    rows = [
+        ["raw 32-bit codes", raw, f"{data.nbytes / raw:.2f}"],
+        ["DEFLATE only", deflate_only, f"{data.nbytes / deflate_only:.2f}"],
+        ["Huffman only", huff, f"{data.nbytes / huff:.2f}"],
+        ["Huffman + DEFLATE (SZ3)", huff_deflate, f"{data.nbytes / huff_deflate:.2f}"],
+    ]
+    text = format_table(
+        ["entropy stage", "bytes", "approx CR"],
+        rows,
+        title="Ablation - entropy stage on the NYX SZ3 code stream @ eps=1e-3",
+    )
+    emit("ablation_entropy", text)
+
+    # Huffman must beat raw; the stacked pipeline must be the best.
+    assert huff < raw
+    assert huff_deflate <= huff
+    assert huff_deflate <= deflate_only

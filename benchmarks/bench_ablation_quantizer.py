@@ -1,0 +1,52 @@
+"""Ablation: quantizer bin width (the classic 2-eps bins vs narrower bins).
+
+DESIGN.md question: SZ quantizes residuals on a 2*eps grid, the widest bins
+that still guarantee the bound.  Narrower bins waste ratio without PSNR
+gains proportional to the cost — quantified here on NYX with the SZ3
+interpolation pipeline.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.compressors.huffman import huffman_encode
+from repro.compressors.interpolation import interp_encode
+from repro.core.report import format_table
+from repro.data import generate
+from repro.metrics import psnr
+
+
+def test_ablation_quantizer_bin_width(benchmark, emit):
+    data = np.array(generate("nyx", "test"), dtype=np.float64)
+    eps = 1e-3 * float(data.max() - data.min())
+
+    def build():
+        rows = []
+        for divisor in (1.0, 2.0, 4.0):
+            eb = eps / divisor
+            anchors, modes, codes, outliers, recon = interp_encode(data, eb)
+            payload = len(huffman_encode(codes)) + outliers.nbytes + anchors.nbytes
+            rows.append(
+                [
+                    f"2*eps/{divisor:.0f}",
+                    f"{data.nbytes / payload:.2f}",
+                    f"{psnr(data, recon):.2f}",
+                    f"{np.abs(recon - data).max() / eps:.3f}",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    text = format_table(
+        ["bin width", "approx CR", "PSNR [dB]", "max err / eps"],
+        rows,
+        title="Ablation - quantizer bin width on NYX @ eps=1e-3 (SZ3 pipeline)",
+    )
+    emit("ablation_quantizer", text)
+
+    crs = [float(r[1]) for r in rows]
+    psnrs = [float(r[2]) for r in rows]
+    # Narrowing bins always costs ratio and buys ~6 dB per halving.
+    assert crs[0] > crs[1] > crs[2]
+    assert psnrs[2] > psnrs[1] > psnrs[0]
+    assert 4.0 < psnrs[1] - psnrs[0] < 8.0

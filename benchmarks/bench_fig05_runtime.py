@@ -1,0 +1,49 @@
+"""Figure 5: serial compression+decompression runtime vs error bound.
+
+Paper shape: runtime rises as the bound tightens on the Intel Xeon CPU MAX
+9480, for all five EBLCs across CESM/HACC/NYX/S3D; HACC is the slowest set
+(tens of seconds), SZx the fastest codec everywhere.
+"""
+
+from conftest import run_once
+
+from repro.core.report import format_series
+
+BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
+DATASETS = ("cesm", "hacc", "nyx", "s3d")
+
+
+def test_fig05_runtime_vs_bound(benchmark, testbed, emit):
+    points = run_once(
+        benchmark,
+        lambda: testbed.run_serial_sweep(
+            datasets=DATASETS, codecs=CODECS, bounds=BOUNDS, cpus=("max9480",)
+        ),
+    )
+    by = {(p.dataset, p.codec, p.rel_bound): p for p in points}
+    blocks = []
+    for ds in DATASETS:
+        series = {
+            codec: [by[(ds, codec, b)].total_time_s for b in BOUNDS]
+            for codec in CODECS
+        }
+        blocks.append(
+            format_series(
+                f"Fig. 5({'abcd'[DATASETS.index(ds)]}) - {ds.upper()} runtime [s], Intel Xeon CPU MAX 9480",
+                "REL bound",
+                [f"{b:.0e}" for b in BOUNDS],
+                series,
+                y_format="{:.2f}",
+            )
+        )
+    emit("fig05_runtime", "\n\n".join(blocks))
+
+    # Shape: runtime monotone non-decreasing as the bound tightens; SZx fastest.
+    for ds in DATASETS:
+        for codec in CODECS:
+            ts = [by[(ds, codec, b)].total_time_s for b in BOUNDS]
+            assert all(b >= a * 0.999 for a, b in zip(ts, ts[1:])), (ds, codec)
+        for b in BOUNDS:
+            others = [by[(ds, c, b)].total_time_s for c in CODECS if c != "szx"]
+            assert by[(ds, "szx", b)].total_time_s <= min(others), (ds, b)

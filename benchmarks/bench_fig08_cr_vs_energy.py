@@ -1,0 +1,49 @@
+"""Figure 8: compression ratio vs total (comp+decomp) energy, S3D, MAX 9480.
+
+Paper shape: an inverse relationship — SZx occupies the low-energy/low-ratio
+corner, SZ3/QoZ the high-ratio/high-energy corner; within a codec, tighter
+bounds move points down-left (lower ratio) and up (more energy).
+"""
+
+from conftest import run_once
+
+from repro.core.report import format_table
+
+BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
+
+
+def test_fig08_cr_vs_energy(benchmark, testbed, emit):
+    points = run_once(
+        benchmark,
+        lambda: testbed.run_serial_sweep(
+            datasets=("s3d",), codecs=CODECS, bounds=BOUNDS, cpus=("max9480",)
+        ),
+    )
+    rows = [
+        [
+            p.codec,
+            f"{p.rel_bound:.0e}",
+            f"{p.roundtrip.ratio:.2f}",
+            f"{p.total_energy_j:.0f}",
+        ]
+        for p in points
+    ]
+    text = format_table(
+        ["codec", "REL", "compression ratio", "total energy [J]"],
+        rows,
+        title="Fig. 8 - CR vs total energy, one S3D field, Intel Xeon CPU MAX 9480",
+    )
+    emit("fig08_cr_vs_energy", text)
+
+    by = {(p.codec, p.rel_bound): p for p in points}
+    # SZx is the energy floor; SZ3 or QoZ the ratio ceiling at loose bounds.
+    for b in BOUNDS:
+        es = {c: by[(c, b)].total_energy_j for c in CODECS}
+        assert min(es, key=es.get) == "szx"
+    crs = {c: by[(c, 1e-1)].roundtrip.ratio for c in CODECS}
+    assert max(crs, key=crs.get) in ("sz3", "qoz")
+    # Inverse trend within SZ3: the loosest bound has both the highest CR
+    # and the lowest energy.
+    assert by[("sz3", 1e-1)].roundtrip.ratio > by[("sz3", 1e-5)].roundtrip.ratio
+    assert by[("sz3", 1e-1)].total_energy_j < by[("sz3", 1e-5)].total_energy_j

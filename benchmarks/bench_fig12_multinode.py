@@ -1,0 +1,65 @@
+"""Figure 12: multi-node compress+write energy vs core count (NYX, HDF5, 8160).
+
+Paper shape: EBLC energy splits into dominant compression plus a small write
+component and grows roughly linearly with cores (weak scaling); the
+uncompressed baseline jumps once the aggregate PFS saturates, making EBLC
+the cheaper option at 512 cores (~25% total-energy saving).
+"""
+
+from conftest import run_once
+
+from repro.core.report import format_series, format_stacked_bars
+
+CORES = (16, 32, 64, 128, 256, 512)
+CODECS = ("sz2", "sz3", "zfp", "qoz")
+
+
+def test_fig12_multinode(benchmark, testbed, emit):
+    results = run_once(
+        benchmark, lambda: testbed.run_multinode(cores=CORES, codecs=CODECS)
+    )
+    by = {(r.codec, r.total_cores): r for r in results}
+    series = {
+        codec: [by[(codec, c)].total_energy_j for c in CORES] for codec in CODECS
+    }
+    series["Original"] = [by[(None, c)].total_energy_j for c in CORES]
+    text = format_series(
+        "Fig. 12 - Multi-node compress+write energy [J], NYX field/rank, HDF5, Xeon Platinum 8160",
+        "cores",
+        list(CORES),
+        series,
+        y_format="{:.0f}",
+    )
+    stacked = format_stacked_bars(
+        "Fig. 12 (stacked @ 512 cores): compress (bottom) + write (top)",
+        "codec",
+        [
+            (codec, by[(codec, 512)].compress_energy_j, by[(codec, 512)].write_energy_j)
+            for codec in CODECS
+        ]
+        + [("orig", 0.0, by[(None, 512)].write_energy_j)],
+        lower_label="compress",
+        upper_label="write",
+    )
+    emit("fig12_multinode", text + "\n\n" + stacked)
+
+    # Crossover: original cheaper at 16 cores, EBLC cheaper at 512.
+    for codec in CODECS:
+        assert by[(codec, 16)].total_energy_j > by[(None, 16)].total_energy_j
+        assert by[(codec, 512)].total_energy_j < by[(None, 512)].total_energy_j
+    # The jump: original's write energy grows superlinearly 256 -> 512.
+    assert (
+        by[(None, 512)].total_energy_j > 2.5 * by[(None, 256)].total_energy_j
+    )
+    # EBLC: compression dominates the write component (paper Section VI-B).
+    # ZFP is exempt: its ratio on the synthetic NYX (~4-5x) is below the
+    # paper's (~25x), so its write share stays visible — see EXPERIMENTS.md.
+    for codec in CODECS:
+        r = by[(codec, 512)]
+        if codec != "zfp":
+            assert r.compress_energy_j > r.write_energy_j
+        assert r.write_energy_j < by[(None, 512)].write_energy_j
+    # Roughly-linear weak scaling for EBLC: doubling cores ~doubles energy.
+    for codec in CODECS:
+        growth = by[(codec, 512)].total_energy_j / by[(codec, 256)].total_energy_j
+        assert 1.5 < growth < 3.0

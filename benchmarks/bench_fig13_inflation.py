@@ -1,0 +1,51 @@
+"""Figure 13: serial energy vs inflated NYX sizes on the Xeon Platinum 8260M.
+
+Paper shape: inflating each dimension by 2..5 grows bytes cubically (0.5 to
+62.5 GB at paper scale) and compressor energy scales nearly linearly with
+bytes (constant throughput per codec).
+"""
+
+from conftest import run_once
+
+from repro.core.report import format_series
+
+FACTORS = (1, 2, 3, 4, 5)
+CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
+
+
+def test_fig13_inflation(benchmark, testbed, emit):
+    points = run_once(
+        benchmark,
+        lambda: testbed.run_inflation(
+            factors=FACTORS, codecs=CODECS, base_scale="test"
+        ),
+    )
+    by = {(p.codec, p.factor): p for p in points}
+    xs = [f"{by[('sz3', f)].paper_gb:.1f}" for f in FACTORS]
+    series = {
+        codec: [by[(codec, f)].total_energy_j for f in FACTORS] for codec in CODECS
+    }
+    text = format_series(
+        "Fig. 13 - Serial energy [J] vs inflated NYX size, eps=1e-3, Xeon Platinum 8260M",
+        "size [GB]",
+        xs,
+        series,
+        y_format="{:.0f}",
+    )
+    ratios = format_series(
+        "Fig. 13 (aux) - measured compression ratio of the inflated synthetic data",
+        "factor",
+        list(FACTORS),
+        {codec: [by[(codec, f)].ratio for f in FACTORS] for codec in CODECS},
+        y_format="{:.1f}",
+    )
+    emit("fig13_inflation", text + "\n\n" + ratios)
+
+    # Near-linear scaling in bytes: E(f)/E(1) ~ f^3 once overhead amortizes.
+    for codec in CODECS:
+        e1 = by[(codec, 1)].total_energy_j
+        e5 = by[(codec, 5)].total_energy_j
+        assert 60.0 < e5 / e1 < 135.0, codec  # f^3 = 125 within a band
+    # Paper x-axis: 0.5 ... 62.5 GB.
+    assert abs(by[("sz3", 1)].paper_gb - 0.537) < 0.01
+    assert abs(by[("sz3", 5)].paper_gb - 67.1) < 0.5

@@ -1,0 +1,49 @@
+"""Wall-clock kernels: real pytest-benchmark timings of our reimplementations.
+
+Unlike the figure benches (virtual-testbed energies), these measure the
+actual Python codec kernels so performance regressions in this repository
+are visible.  Sizes are small; the point is relative movement over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.data import generate
+
+CODECS = ("sz2", "sz3", "qoz", "zfp", "szx")
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_kernel_compress_nyx(benchmark, codec):
+    data = np.array(generate("nyx", "test"))
+    comp = get_compressor(codec)
+    buf = benchmark(comp.compress, data, 1e-3)
+    assert buf.ratio > 1.0
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_kernel_decompress_nyx(benchmark, codec):
+    data = np.array(generate("nyx", "test"))
+    comp = get_compressor(codec)
+    buf = comp.compress(data, 1e-3)
+    rec = benchmark(comp.decompress, buf)
+    assert rec.shape == data.shape
+
+
+def test_kernel_huffman_encode(benchmark, rng=np.random.default_rng(0)):
+    syms = rng.geometric(0.3, size=200_000).astype(np.int64)
+    from repro.compressors.huffman import huffman_encode
+
+    blob = benchmark(huffman_encode, syms)
+    assert len(blob) > 0
+
+
+def test_kernel_pfs_solver(benchmark):
+    from repro.iolib.pfs import fair_share_schedule
+
+    r = np.random.default_rng(1)
+    arrivals = np.sort(r.uniform(0, 5, 512))
+    sizes = r.uniform(1e7, 1e9, 512)
+    finish = benchmark(fair_share_schedule, arrivals, sizes, 1000.0, 4000.0)
+    assert np.all(np.isfinite(finish))

@@ -1,0 +1,65 @@
+"""Section VII: the headline extrapolations.
+
+- S3D/SZ2 @ 1e-3: write-energy reduction vs uncompressed I/O (paper: 262.5x,
+  which equals the compression ratio because write energy tracks bytes).
+- Storage devices and embodied carbon: CR of 10-100x shrinks device counts
+  by the same factor and rack embodied emissions by ~70-75% (SSD) / ~40% (HDD).
+"""
+
+from conftest import run_once
+
+from repro.core.extrapolation import (
+    embodied_carbon_saving_fraction,
+    project_facility,
+)
+from repro.core.report import format_table
+from repro.iolib.devices import get_device
+
+
+def test_sec07_extrapolation(benchmark, testbed, emit):
+    def build():
+        orig = testbed.io_point("s3d", None, None, "hdf5", "max9480")
+        comp = testbed.io_point("s3d", "sz2", 1e-3, "hdf5", "max9480")
+        reduction = orig.write_energy_j / comp.write_energy_j
+        ratio = testbed.roundtrip("s3d", "sz2", 1e-3).ratio
+        j_per_tb = orig.write_energy_j / (orig.bytes_written / 1e12)
+        proj = project_facility(
+            daily_output_tb=100.0,
+            compression_ratio=ratio,
+            io_energy_reduction=reduction,
+            write_energy_j_per_tb=j_per_tb,
+        )
+        return orig, comp, reduction, ratio, proj
+
+    orig, comp, reduction, ratio, proj = run_once(benchmark, build)
+    ssd = get_device("ssd-15tb")
+    hdd = get_device("hdd-18tb")
+    rows = [
+        ["S3D write energy, uncompressed (HDF5)", f"{orig.write_energy_j:.0f} J"],
+        ["S3D write energy, SZ2 @ 1e-3", f"{comp.write_energy_j:.1f} J"],
+        ["I/O energy reduction", f"{reduction:.1f}x  (paper: 262.5x at CR 262.5)"],
+        ["Measured SZ2 ratio (synthetic S3D)", f"{ratio:.1f}x"],
+        ["Facility devices, uncompressed/yr", str(proj.devices_uncompressed)],
+        ["Facility devices, compressed/yr", str(proj.devices_compressed)],
+        [
+            "Rack embodied-carbon saving (SSD)",
+            f"{embodied_carbon_saving_fraction(100.0, ssd) * 100:.1f}% at CR 100",
+        ],
+        [
+            "Rack embodied-carbon saving (HDD)",
+            f"{embodied_carbon_saving_fraction(100.0, hdd) * 100:.1f}% at CR 100",
+        ],
+        [
+            "Annual I/O energy saved (100 TB/day)",
+            f"{proj.annual_io_energy_saved_j / 1e6:.1f} MJ",
+        ],
+    ]
+    text = format_table(
+        ["quantity", "value"], rows, title="Section VII - Facility-scale extrapolation"
+    )
+    emit("sec07_extrapolation", text)
+
+    # Write-energy reduction tracks the measured ratio (the paper mechanism).
+    assert reduction > 0.3 * ratio
+    assert proj.devices_compressed < proj.devices_uncompressed
+    assert 0.7 < embodied_carbon_saving_fraction(100.0, ssd) < 0.8

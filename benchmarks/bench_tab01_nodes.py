@@ -1,0 +1,29 @@
+"""Table I: node specifications of the three experimental platforms."""
+
+from conftest import run_once
+
+from repro.core.report import format_table
+from repro.energy.cpus import CPUS, PAPER_CPUS
+
+
+def test_tab01_node_specifications(benchmark, emit):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [
+                CPUS[name].system,
+                CPUS[name].model,
+                CPUS[name].cores,
+                CPUS[name].ram,
+                f"{CPUS[name].tdp_w:.0f}W",
+            ]
+            for name in PAPER_CPUS
+        ],
+    )
+    text = format_table(
+        ["System", "Intel CPU Model", "Cores", "RAM", "CPU TDP"],
+        rows,
+        title="Table I - Summary of Node Specifications",
+    )
+    emit("tab01_nodes", text)
+    assert len(rows) == 3

@@ -1,0 +1,32 @@
+"""Table II: the benchmark datasets (paper geometry + synthetic bench scale)."""
+
+from conftest import run_once
+
+from repro.core.report import format_table
+from repro.data.registry import MAIN_DATASETS, get_dataset
+
+
+def test_tab02_datasets(benchmark, emit):
+    def build():
+        rows = []
+        for name in MAIN_DATASETS:
+            spec = get_dataset(name)
+            rows.append(
+                [
+                    name.upper(),
+                    "x".join(str(d) for d in spec.paper_shape),
+                    f"{spec.paper_mb:.1f}MB",
+                    "Float" if spec.dtype.itemsize == 4 else "Double",
+                    "x".join(str(d) for d in spec.scales["bench"]),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    text = format_table(
+        ["Data Set", "Dimensions", "Storage Size", "Precision", "Synthetic (bench)"],
+        rows,
+        title="Table II - Data Sets for Benchmarking Lossy Compressors",
+    )
+    emit("tab02_datasets", text)
+    assert [r[0] for r in rows] == ["CESM", "HACC", "NYX", "S3D"]

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures: one Testbed per session, results directory.
+
+Every bench regenerates a paper table/figure through the virtual testbed,
+renders it as text, writes it under ``benchmarks/results/`` and echoes it to
+stdout (visible with ``pytest -s``).  Compression round-trips are memoized
+inside the testbed, so the figure benches share one sweep per session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.experiments import Testbed
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """Bench-scale testbed shared by every figure/table bench."""
+    return Testbed(scale="bench", sample_interval=0.010)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer: emit(artifact_id, text) -> results/<artifact_id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(artifact_id: str, text: str) -> str:
+        path = RESULTS_DIR / f"{artifact_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

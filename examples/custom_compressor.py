@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Extending the library: plug a custom EBLC into the framework.
+
+Implements a deliberately simple codec — uniform scalar quantization of the
+whole array plus DEFLATE — registers it, and immediately gets everything the
+built-ins have: the error-bound contract machinery, Fig. 8-style trade-off
+placement against the real codecs, and the advisor.
+
+Run:  python examples/custom_compressor.py
+"""
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro import compress, decompress
+from repro.compressors.base import Compressor, register_compressor
+from repro.core.report import format_table
+from repro.data import generate
+from repro.metrics import check_error_bound, psnr
+
+
+@register_compressor
+class UniformQuantizer(Compressor):
+    """Whole-array uniform quantization + DEFLATE (a teaching baseline)."""
+
+    name = "uniform"
+
+    def _compress_impl(self, values: np.ndarray, abs_bound: float) -> bytes:
+        vmin = float(values.min())
+        width = 2.0 * abs_bound
+        codes = np.rint((values - vmin) / width).astype(np.uint32)
+        payload = zlib.compress(codes.tobytes(), 6)
+        return struct.pack("<d", vmin) + payload
+
+    def _decompress_impl(self, payload, shape, abs_bound):
+        (vmin,) = struct.unpack_from("<d", payload, 0)
+        codes = np.frombuffer(zlib.decompress(payload[8:]), dtype=np.uint32)
+        return vmin + codes.astype(np.float64) * (2.0 * abs_bound)
+
+
+def main() -> None:
+    data = np.array(generate("nyx", "test"))
+    eps = 1e-3
+
+    rows = []
+    for codec in ("uniform", "szx", "zfp", "sz3"):
+        buf = compress(data, codec, eps)
+        rec = decompress(buf)
+        check_error_bound(data, rec, eps)  # the contract applies to yours too
+        rows.append([codec, f"{buf.ratio:7.2f}x", f"{psnr(data, rec):7.2f} dB"])
+    print(
+        format_table(
+            ["codec", "ratio", "PSNR"],
+            rows,
+            title=f"Custom 'uniform' codec vs the built-ins (NYX-like, eps={eps:.0e})",
+        )
+    )
+    print(
+        "\nThe custom codec inherits validation, framing, the constant-array"
+        "\nfast path and registry dispatch from repro.compressors.base —"
+        "\nprediction is what separates it from SZ3's ratio above."
+    )
+
+
+if __name__ == "__main__":
+    main()

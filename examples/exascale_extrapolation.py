@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: Section VII at your own facility — devices, carbon, joules.
+
+Extrapolates measured compression ratios and write-energy reductions to a
+year of facility operation: how many storage devices does EBLC retire, what
+fraction of rack embodied carbon disappears, and how much write energy is
+saved annually.
+
+Run:  python examples/exascale_extrapolation.py
+"""
+
+from repro.core.experiments import Testbed
+from repro.core.extrapolation import project_facility
+from repro.core.report import format_table, si
+
+DAILY_TB = 250.0  # a busy simulation campaign's daily output
+
+
+def main() -> None:
+    testbed = Testbed(scale="test")
+
+    # Measure the ingredients on the virtual testbed (S3D via SZ2 @ 1e-3,
+    # the paper's Section VII example).
+    orig = testbed.io_point("s3d", None, None, "hdf5", "plat8160")
+    comp = testbed.io_point("s3d", "sz2", 1e-3, "hdf5", "plat8160")
+    ratio = testbed.roundtrip("s3d", "sz2", 1e-3).ratio
+    reduction = orig.write_energy_j / comp.write_energy_j
+    j_per_tb = orig.write_energy_j / (orig.bytes_written / 1e12)
+
+    print(
+        f"Measured: ratio {ratio:.1f}x, write-energy reduction {reduction:.1f}x, "
+        f"{si(j_per_tb, 'J')}/TB uncompressed\n"
+    )
+
+    rows = []
+    for device in ("ssd-15tb", "hdd-18tb"):
+        proj = project_facility(
+            daily_output_tb=DAILY_TB,
+            compression_ratio=ratio,
+            io_energy_reduction=reduction,
+            write_energy_j_per_tb=j_per_tb,
+            device_name=device,
+        )
+        rows.append(
+            [
+                device,
+                proj.devices_uncompressed,
+                proj.devices_compressed,
+                f"{proj.embodied_carbon_saving * 100:.0f}%",
+                si(proj.annual_io_energy_saved_j, "J"),
+            ]
+        )
+    print(
+        format_table(
+            ["device", "devices (raw)", "devices (EBLC)", "rack embodied CO2 cut", "energy saved/yr"],
+            rows,
+            title=f"One year at {DAILY_TB:.0f} TB/day, S3D-like data, SZ2 @ 1e-3",
+        )
+    )
+    print(
+        "\nPaper claim being reproduced: 10-100x ratios cut storage device"
+        "\ncounts by the same factor and rack embodied emissions by ~40% (HDD)"
+        "\nto ~75% (SSD); I/O energy falls by up to two orders of magnitude."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: sizing a multi-node write campaign (the Fig. 6 / Fig. 12 setup).
+
+A cosmology campaign runs N nodes x 48 ranks; every rank periodically dumps
+its NYX field to the shared Lustre PFS.  Should the ranks compress first?
+The answer depends on scale: at small core counts the PFS absorbs the raw
+writes cheaply; past saturation the uncompressed dump's tail dominates and
+EBLC wins on both energy and makespan.
+
+Run:  python examples/multinode_campaign.py
+"""
+
+from repro.core.experiments import Testbed
+from repro.core.report import format_table
+
+CORES = (16, 64, 256, 512, 1024)
+
+
+def main() -> None:
+    testbed = Testbed(scale="test")
+    results = testbed.run_multinode(cores=CORES, codecs=("sz3", "szx"))
+    by = {(r.codec, r.total_cores): r for r in results}
+
+    rows = []
+    for c in CORES:
+        orig = by[(None, c)]
+        sz3 = by[("sz3", c)]
+        verdict = "compress (sz3)" if sz3.total_energy_j < orig.total_energy_j else "write raw"
+        rows.append(
+            [
+                c,
+                f"{orig.total_energy_j:9.0f}",
+                f"{sz3.total_energy_j:9.0f}",
+                f"{by[('szx', c)].total_energy_j:9.0f}",
+                f"{orig.total_time_s:6.1f}",
+                f"{sz3.total_time_s:6.1f}",
+                verdict,
+            ]
+        )
+    print(
+        format_table(
+            ["cores", "raw E [J]", "sz3 E [J]", "szx E [J]", "raw t [s]", "sz3 t [s]", "verdict"],
+            rows,
+            title="Multi-node dump: one NYX field per rank, HDF5 over Lustre, Xeon 8160 nodes",
+        )
+    )
+
+    orig = by[(None, 512)]
+    sz3 = by[("sz3", 512)]
+    saving = 1.0 - sz3.total_energy_j / orig.total_energy_j
+    print(
+        f"\nAt 512 cores EBLC saves {saving * 100:.0f}% of campaign energy "
+        f"(paper: ~25% in its configuration) and cuts the write makespan from "
+        f"{orig.write_time_s:.1f} s to {sz3.write_time_s:.1f} s."
+    )
+    print(
+        "Mechanism: 512 concurrent raw streams exceed the PFS aggregate "
+        "bandwidth, so every flow crawls; compressed flows fit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured through pyproject.toml; this file exists so that
+environments without the ``wheel`` package (where PEP-660 editable installs
+cannot build) can still run ``python setup.py develop`` or
+``python setup.py install``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — energy trade-offs of error-bounded lossy compressed I/O.
+
+A from-scratch reproduction of Wilkins et al., *"To Compress or Not To
+Compress: Energy Trade-Offs and Benefits of Lossy Compressed I/O"*
+(arXiv:2410.23497).  The package provides:
+
+- :mod:`repro.compressors` — SZ2, SZ3, QoZ, ZFP, SZx and the Figure-1
+  lossless baselines, all pure NumPy with a guaranteed value-range relative
+  error bound;
+- :mod:`repro.data` — synthetic SDRBench-like scientific datasets (CESM,
+  HACC, NYX, S3D and the Fig. 1 extras) with calibrated compressibility;
+- :mod:`repro.metrics` — PSNR, error-bound verification, ratios, and the
+  paper's 25-run/95 %-CI statistics protocol;
+- :mod:`repro.energy` — the simulated RAPL/PAPI measurement stack, Table-I
+  CPU catalogue, and the calibrated throughput/strong-scaling model;
+- :mod:`repro.iolib` — HDF5-like and NetCDF-like containers over a
+  Lustre-like parallel-file-system model;
+- :mod:`repro.cluster` — discrete-event multi-node compress+write campaigns;
+- :mod:`repro.core` — the Section-III trade-off formulation, the advisor,
+  experiment drivers for every figure/table, and facility-scale
+  extrapolation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import compress, decompress, Testbed
+
+    data = np.random.default_rng(0).random((64, 64, 64), dtype=np.float32)
+    buf = compress(data, "sz3", rel_bound=1e-3)
+    recon = decompress(buf)
+    report = Testbed().measure_compression("sz3", data, rel_bound=1e-3)
+    print(buf.ratio, report.energy_j)
+"""
+
+from repro._version import __version__
+from repro.compressors import (
+    CompressedBuffer,
+    Compressor,
+    available_compressors,
+    get_compressor,
+)
+from repro.compressors import lossless as _lossless  # register lossless codecs
+
+__all__ = [
+    "__version__",
+    "CompressedBuffer",
+    "Compressor",
+    "available_compressors",
+    "get_compressor",
+    "compress",
+    "decompress",
+    "Testbed",
+]
+
+
+def compress(array, codec: str = "sz3", rel_bound: float = 1e-3, **kwargs):
+    """Compress ``array`` with a registered codec under a relative bound."""
+    return get_compressor(codec, **kwargs).compress(array, rel_bound)
+
+
+def decompress(buf):
+    """Decompress a :class:`CompressedBuffer` with the codec it names."""
+    return get_compressor(buf.codec).decompress(buf)
+
+
+def __getattr__(name):
+    # Lazy import: the Testbed pulls in the energy/iolib stacks, which are
+    # not needed by users who only want the codecs.
+    if name == "Testbed":
+        from repro.core.experiments import Testbed
+
+        return Testbed
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

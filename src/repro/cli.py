@@ -1,0 +1,218 @@
+"""Command-line interface: compress, inspect, advise, and list resources.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro compress INPUT.npy OUTPUT.rpz --codec sz3 --rel-bound 1e-3
+    python -m repro decompress OUTPUT.rpz RECON.npy
+    python -m repro inspect OUTPUT.rpz
+    python -m repro advise --dataset cesm --psnr-min 60 --io hdf5
+    python -m repro datasets
+    python -m repro cpus
+
+Arrays are exchanged as ``.npy`` files; compressed streams carry their own
+codec/geometry header, so ``decompress`` and ``inspect`` need no flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.compressors import available_compressors, get_compressor
+from repro.compressors.base import Compressor
+from repro.core.report import format_table, si
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware error-bounded lossy compression toolkit "
+        "(reproduction of Wilkins et al., arXiv:2410.23497).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a .npy array")
+    p.add_argument("input", help="input .npy file (float32/float64)")
+    p.add_argument("output", help="output compressed stream")
+    p.add_argument("--codec", default="sz3", choices=available_compressors())
+    p.add_argument(
+        "--rel-bound",
+        type=float,
+        default=1e-3,
+        help="value-range relative error bound (ignored for lossless codecs)",
+    )
+
+    p = sub.add_parser("decompress", help="reconstruct a compressed stream")
+    p.add_argument("input", help="compressed stream produced by `repro compress`")
+    p.add_argument("output", help="output .npy file")
+
+    p = sub.add_parser("inspect", help="print a compressed stream's metadata")
+    p.add_argument("input", help="compressed stream")
+
+    p = sub.add_parser(
+        "advise", help="recommend a (codec, bound) for a dataset (Section III)"
+    )
+    p.add_argument("--dataset", default="cesm")
+    p.add_argument("--psnr-min", type=float, default=60.0)
+    p.add_argument("--io", default="hdf5", choices=("hdf5", "netcdf"))
+    p.add_argument("--cpu", default="plat8160")
+    p.add_argument(
+        "--objective", default="energy", choices=("energy", "ratio", "time")
+    )
+    p.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="also require the Eq. 3 time benefit (paper's strict criterion)",
+    )
+    p.add_argument(
+        "--scale",
+        default="test",
+        choices=("tiny", "test", "bench"),
+        help="synthetic data scale used for the real compression measurements",
+    )
+
+    sub.add_parser("datasets", help="list the dataset catalogue (Table II)")
+    sub.add_parser("cpus", help="list the CPU catalogue (Table I)")
+    sub.add_parser("codecs", help="list registered compressors")
+    return parser
+
+
+def _cmd_compress(args) -> int:
+    data = np.load(args.input)
+    comp = get_compressor(args.codec)
+    buf = comp.compress(data, args.rel_bound if not comp.lossless else 0.0)
+    with open(args.output, "wb") as fh:
+        fh.write(buf.data)
+    print(
+        f"{args.input}: {si(buf.original_nbytes, 'B')} -> {si(buf.nbytes, 'B')} "
+        f"({buf.ratio:.2f}x, {buf.bitrate:.2f} bits/elem) via {buf.codec}"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    codec, shape, dtype, rel_bound, _, _, _ = Compressor._unpack_header(stream)
+    recon = get_compressor(codec).decompress(stream)
+    np.save(args.output, recon)
+    print(
+        f"{args.input}: {codec} stream -> {args.output} "
+        f"{recon.shape} {recon.dtype} (rel_bound {rel_bound:.2e})"
+    )
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    codec, shape, dtype, rel_bound, abs_bound, flag, payload = (
+        Compressor._unpack_header(stream)
+    )
+    n_elems = int(np.prod(shape))
+    original = n_elems * dtype.itemsize
+    rows = [
+        ["codec", codec],
+        ["shape", "x".join(map(str, shape))],
+        ["dtype", str(dtype)],
+        ["rel bound", f"{rel_bound:.3e}"],
+        ["abs bound (effective)", f"{abs_bound:.3e}"],
+        ["stream bytes", si(len(stream), "B")],
+        ["original bytes", si(original, "B")],
+        ["ratio", f"{original / len(stream):.2f}x"],
+        ["storage flag", {0: "normal", 1: "constant", 2: "lossless"}[flag]],
+    ]
+    print(format_table(["field", "value"], rows, title=args.input))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.core.advisor import Advisor
+    from repro.core.experiments import Testbed
+    from repro.core.tradeoff import TradeoffAnalyzer
+
+    analyzer = TradeoffAnalyzer(
+        Testbed(scale=args.scale), cpu_name=args.cpu, io_library=args.io
+    )
+    rec = Advisor(analyzer).recommend(
+        args.dataset,
+        psnr_min_db=args.psnr_min,
+        objective=args.objective,
+        require_time_benefit=args.strict_time,
+    )
+    print(rec.rationale)
+    if rec.should_compress:
+        c = rec.record.conditions
+        print(
+            f"  Eq.3 time: {c.time_beneficial}  Eq.4 energy: {c.energy_beneficial}  "
+            f"Eq.5 quality: {c.quality_acceptable}"
+        )
+        return 0
+    return 1
+
+
+def _cmd_datasets(args) -> int:
+    from repro.data.registry import DATASETS
+
+    rows = [
+        [
+            s.name,
+            s.domain,
+            "x".join(map(str, s.paper_shape)),
+            f"{s.paper_mb:.1f} MB",
+            str(s.dtype),
+        ]
+        for s in DATASETS.values()
+    ]
+    print(format_table(["name", "domain", "paper shape", "size", "dtype"], rows))
+    return 0
+
+
+def _cmd_cpus(args) -> int:
+    from repro.energy.cpus import CPUS
+
+    rows = [
+        [c.name, c.model, c.codename, c.cores, c.sockets, f"{c.tdp_w:.0f} W"]
+        for c in CPUS.values()
+    ]
+    print(
+        format_table(["name", "model", "codename", "cores", "sockets", "TDP"], rows)
+    )
+    return 0
+
+
+def _cmd_codecs(args) -> int:
+    rows = [
+        [n, "lossless" if get_compressor(n).lossless else "error-bounded"]
+        for n in available_compressors()
+    ]
+    print(format_table(["codec", "kind"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "inspect": _cmd_inspect,
+    "advise": _cmd_advise,
+    "datasets": _cmd_datasets,
+    "cpus": _cmd_cpus,
+    "codecs": _cmd_codecs,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Multi-node simulation: discrete events, nodes, ranks, and I/O campaigns.
+
+Reproduces the Section IV-E experiment (Fig. 6): N MPI nodes with R ranks
+each; every rank compresses its copy of the dataset, then all N*R ranks
+write concurrently to the shared PFS while the PAPI monitor records energy
+on every node.  :class:`~repro.cluster.campaign.MultiNodeCampaign` is the
+driver behind Fig. 12.
+"""
+
+from repro.cluster.events import EventLoop, Process
+from repro.cluster.node import NodeModel
+from repro.cluster.mpi import SimComm
+from repro.cluster.campaign import CampaignResult, MultiNodeCampaign
+
+__all__ = [
+    "EventLoop",
+    "Process",
+    "NodeModel",
+    "SimComm",
+    "CampaignResult",
+    "MultiNodeCampaign",
+]

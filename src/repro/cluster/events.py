@@ -1,0 +1,120 @@
+"""Minimal deterministic discrete-event engine.
+
+Processes are generators that ``yield`` either a float delay (sleep) or an
+:class:`Event` to wait on.  The loop advances virtual time strictly
+monotonically and breaks ties by scheduling order, so simulations are fully
+deterministic — a property the campaign tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Iterable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventLoop", "Process"]
+
+
+class Event:
+    """A one-shot condition processes can wait on."""
+
+    def __init__(self, loop: "EventLoop", name: str = ""):
+        self._loop = loop
+        self.name = name
+        self.fired = False
+        self._waiters: list[Process] = []
+
+    def fire(self) -> None:
+        """Wake all waiters at the current virtual time."""
+        if self.fired:
+            return
+        self.fired = True
+        for proc in self._waiters:
+            self._loop._ready(proc)
+        self._waiters.clear()
+
+
+class Process:
+    """A generator-backed simulated activity."""
+
+    def __init__(self, gen: Generator, name: str = ""):
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.finish_time: float | None = None
+
+
+class EventLoop:
+    """Deterministic event loop with float virtual time."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Process]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def event(self, name: str = "") -> Event:
+        """Create a new waitable event."""
+        return Event(self, name)
+
+    def spawn(self, gen: Generator, name: str = "", delay: float = 0.0) -> Process:
+        """Register a process to start after ``delay`` seconds."""
+        proc = Process(gen, name)
+        self._schedule(self._now + delay, proc)
+        return proc
+
+    def _schedule(self, when: float, proc: Process) -> None:
+        if when < self._now - 1e-12:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._queue, (when, self._seq, proc))
+        self._seq += 1
+
+    def _ready(self, proc: Process) -> None:
+        self._schedule(self._now, proc)
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains (or virtual time passes ``until``)."""
+        while self._queue:
+            when, _, proc = heapq.heappop(self._queue)
+            if until is not None and when > until:
+                heapq.heappush(self._queue, (when, self._seq, proc))
+                self._seq += 1
+                self._now = until
+                return self._now
+            self._now = max(self._now, when)
+            self._step(proc)
+        return self._now
+
+    def _step(self, proc: Process) -> None:
+        if proc.finished:
+            return
+        try:
+            yielded = proc.gen.send(None)
+        except StopIteration:
+            proc.finished = True
+            proc.finish_time = self._now
+            return
+        if isinstance(yielded, Event):
+            if yielded.fired:
+                self._ready(proc)
+            else:
+                yielded._waiters.append(proc)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError("process yielded a negative delay")
+            self._schedule(self._now + float(yielded), proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported {type(yielded).__name__}"
+            )
+
+    def run_all(self, gens: Iterable[Generator]) -> float:
+        """Spawn all generators at t=0 and run to completion."""
+        for i, g in enumerate(gens):
+            self.spawn(g, name=f"proc-{i}")
+        return self.run()

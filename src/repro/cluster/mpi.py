@@ -1,0 +1,77 @@
+"""MPI-like rank abstraction over the discrete-event engine.
+
+:class:`SimComm` gives campaign code the familiar communicator surface —
+``size``, per-rank work, ``barrier()`` — while the underlying execution is
+the deterministic :class:`~repro.cluster.events.EventLoop`.  Ranks are
+generator processes; a barrier is an event fired when the last rank arrives.
+
+This is intentionally the mpi4py *shape* (Get_size/Get_rank/barrier) so the
+campaign reads like the MPI program the paper ran, without pretending to be
+a message-passing implementation: the study's communication pattern is
+embarrassingly parallel compression plus a shared-filesystem fan-in, which
+the PFS model covers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.cluster.events import Event, EventLoop
+from repro.errors import SimulationError
+
+__all__ = ["SimComm"]
+
+
+class SimComm:
+    """A simulated communicator of ``size`` ranks on an event loop."""
+
+    def __init__(self, loop: EventLoop, size: int):
+        if size < 1:
+            raise SimulationError("communicator needs at least one rank")
+        self.loop = loop
+        self._size = size
+        self._barrier_event: Event | None = None
+        self._barrier_count = 0
+        self._finish_times: dict[int, float] = {}
+
+    def Get_size(self) -> int:
+        """Number of ranks (mpi4py spelling)."""
+        return self._size
+
+    # mpi4py-style alias
+    size = property(Get_size)
+
+    def barrier(self) -> Event:
+        """Arrive at the collective barrier; yields the released event.
+
+        Rank generators should ``yield comm.barrier()``; when the
+        ``size``-th rank arrives the event fires and all ranks resume at the
+        same virtual time.
+        """
+        if self._barrier_event is None or self._barrier_event.fired:
+            self._barrier_event = self.loop.event("barrier")
+            self._barrier_count = 0
+        self._barrier_count += 1
+        if self._barrier_count == self._size:
+            self._barrier_event.fire()
+        return self._barrier_event
+
+    def run_ranks(
+        self, rank_body: Callable[[int, "SimComm"], Generator]
+    ) -> dict[int, float]:
+        """Spawn ``size`` rank processes and run to completion.
+
+        ``rank_body(rank, comm)`` must be a generator (yield delays/events).
+        Returns per-rank finish times.
+        """
+
+        def wrapper(rank: int) -> Generator:
+            yield from rank_body(rank, self)
+            self._finish_times[rank] = self.loop.now
+
+        for r in range(self._size):
+            self.loop.spawn(wrapper(r), name=f"rank-{r}")
+        self.loop.run()
+        if len(self._finish_times) != self._size:
+            raise SimulationError("not all ranks completed")
+        return dict(self._finish_times)

@@ -1,0 +1,61 @@
+"""Node model: a CPU spec plus its energy meter and phase bookkeeping.
+
+A campaign describes each node's activity as a timeline of (interval,
+active-cores, activity) segments; :class:`NodeModel` turns that timeline
+into joules through the RAPL/PAPI stack, splitting the total into labelled
+components (compression vs write) for Fig. 12's stacked bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.cpus import CPUSpec
+from repro.energy.measurement import EnergyMeter, Phase
+
+__all__ = ["NodeModel", "NodeEnergy"]
+
+
+@dataclass(frozen=True)
+class NodeEnergy:
+    """Per-node energy split by phase label."""
+
+    by_label: dict
+    runtime_s: float
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.by_label.values())
+
+
+@dataclass
+class NodeModel:
+    """One compute node in a campaign."""
+
+    cpu: CPUSpec
+    name: str = "node"
+    sample_interval: float = 0.010
+    _phases: list[Phase] = field(default_factory=list)
+
+    def add_phase(
+        self, duration_s: float, active_cores: int, activity: float, label: str
+    ) -> None:
+        """Append a constant-load segment to the node's timeline."""
+        if duration_s < 0:
+            raise ValueError("phase duration must be non-negative")
+        if duration_s == 0:
+            return
+        self._phases.append(
+            Phase(duration_s, min(active_cores, self.cpu.cores), activity, label)
+        )
+
+    def measure(self) -> NodeEnergy:
+        """Integrate the timeline into labelled joules."""
+        meter = EnergyMeter(self.cpu, sample_interval=self.sample_interval)
+        by_label: dict[str, float] = {}
+        runtime = 0.0
+        for ph in self._phases:
+            report = meter.measure([ph])
+            by_label[ph.label] = by_label.get(ph.label, 0.0) + report.energy_j
+            runtime += report.runtime_s
+        return NodeEnergy(by_label=by_label, runtime_s=runtime)

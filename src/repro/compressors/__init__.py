@@ -1,0 +1,48 @@
+"""Error-bounded lossy compressors (EBLCs) and lossless baselines.
+
+This subpackage reimplements, from scratch and in pure NumPy, the compression
+pipelines profiled by the paper:
+
+- :class:`~repro.compressors.sz2.SZ2` — blockwise Lorenzo + linear-regression
+  prediction, linear-scale quantization, canonical Huffman, DEFLATE.
+- :class:`~repro.compressors.sz3.SZ3` — multilevel dynamic spline
+  interpolation prediction, quantization, Huffman, DEFLATE.
+- :class:`~repro.compressors.qoz.QoZ` — SZ3's interpolation engine with
+  quality-oriented per-level error-bound tuning.
+- :class:`~repro.compressors.zfp.ZFP` — block-float fixed-point conversion,
+  orthogonal lifting transform, negabinary, group-tested bitplane coding.
+- :class:`~repro.compressors.szx.SZx` — ultra-fast constant-block detection
+  plus bounded mantissa truncation.
+
+plus the Figure-1 lossless baselines in :mod:`repro.compressors.lossless`.
+
+Every EBLC honours the value-range relative error bound: for input ``D`` and
+bound ``eps``, every reconstructed element satisfies
+``|D[k] - Dhat[k]| <= eps * (max(D) - min(D))``.
+"""
+
+from repro.compressors.base import (
+    CompressedBuffer,
+    Compressor,
+    available_compressors,
+    get_compressor,
+    register_compressor,
+)
+from repro.compressors.sz2 import SZ2
+from repro.compressors.sz3 import SZ3
+from repro.compressors.qoz import QoZ
+from repro.compressors.zfp import ZFP
+from repro.compressors.szx import SZx
+
+__all__ = [
+    "CompressedBuffer",
+    "Compressor",
+    "available_compressors",
+    "get_compressor",
+    "register_compressor",
+    "SZ2",
+    "SZ3",
+    "QoZ",
+    "ZFP",
+    "SZx",
+]

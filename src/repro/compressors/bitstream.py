@@ -1,0 +1,199 @@
+"""Bit-level stream I/O backed by NumPy.
+
+The SZ-family codecs need two access patterns:
+
+- **Vectorized packing** of many variable-width fields at once (Huffman codes,
+  truncated mantissas).  :func:`pack_bits` / :func:`unpack_bits` handle that in
+  O(distinct widths) NumPy passes instead of a per-symbol Python loop.
+- **Sequential access** for the ZFP bitplane coder whose control flow is
+  data-dependent.  :class:`BitWriter` / :class:`BitReader` provide a compact
+  MSB-first stream with ``write_bit``/``write_bits``/``read_bit``/``read_bits``.
+
+Bit order is MSB-first within each byte for both paths, so the two interfaces
+can read each other's output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DecompressionError
+
+__all__ = ["BitWriter", "BitReader", "pack_bits", "unpack_bits"]
+
+
+def pack_bits(values: np.ndarray, widths: np.ndarray) -> bytes:
+    """Pack ``values[i]`` into ``widths[i]`` bits, MSB-first, concatenated.
+
+    Parameters
+    ----------
+    values:
+        Non-negative integers; ``values[i] < 2**widths[i]`` (only the low
+        ``widths[i]`` bits are kept).
+    widths:
+        Per-value bit widths in ``[0, 64]``.  Zero-width entries contribute
+        nothing to the stream.
+
+    Returns
+    -------
+    bytes
+        The packed stream, padded with zero bits to a byte boundary.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = np.asarray(widths, dtype=np.int64)
+    if values.shape != widths.shape:
+        raise ValueError("values and widths must have the same shape")
+    if values.size == 0:
+        return b""
+    if widths.min() < 0 or widths.max() > 64:
+        raise ValueError("bit widths must be in [0, 64]")
+
+    total_bits = int(widths.sum())
+    if total_bits == 0:
+        return b""
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    # Start offset of each value's field in the bit array.
+    starts = np.concatenate(([0], np.cumsum(widths)[:-1]))
+    # One vectorized scatter per distinct width: for width w, bit j of the
+    # field (MSB-first) is (value >> (w - 1 - j)) & 1.
+    for w in np.unique(widths):
+        w = int(w)
+        if w == 0:
+            continue
+        sel = widths == w
+        vals = values[sel]
+        field_starts = starts[sel]
+        shifts = np.arange(w - 1, -1, -1, dtype=np.uint64)
+        field_bits = (vals[:, None] >> shifts[None, :]) & np.uint64(1)
+        idx = field_starts[:, None] + np.arange(w, dtype=np.int64)[None, :]
+        bits[idx.ravel()] = field_bits.astype(np.uint8).ravel()
+    return np.packbits(bits).tobytes()
+
+
+def unpack_bits(data: bytes, widths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: read ``len(widths)`` fields.
+
+    Returns a ``uint64`` array of the decoded values.
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    if widths.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    if widths.min() < 0 or widths.max() > 64:
+        raise ValueError("bit widths must be in [0, 64]")
+    total_bits = int(widths.sum())
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if bits.size < total_bits:
+        raise DecompressionError(
+            f"bit stream too short: need {total_bits} bits, have {bits.size}"
+        )
+    starts = np.concatenate(([0], np.cumsum(widths)[:-1]))
+    out = np.zeros(widths.size, dtype=np.uint64)
+    for w in np.unique(widths):
+        w = int(w)
+        if w == 0:
+            continue
+        sel = widths == w
+        field_starts = starts[sel]
+        idx = field_starts[:, None] + np.arange(w, dtype=np.int64)[None, :]
+        field_bits = bits[idx.ravel()].reshape(-1, w).astype(np.uint64)
+        shifts = np.arange(w - 1, -1, -1, dtype=np.uint64)
+        out[sel] = (field_bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
+    return out
+
+
+class BitWriter:
+    """Sequential MSB-first bit writer.
+
+    Bits are accumulated in a Python integer window and flushed to a
+    ``bytearray`` in 8-bit groups; this keeps single-bit writes cheap enough
+    for the ZFP group-testing coder while remaining exactly byte-compatible
+    with :func:`pack_bits`.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0  # bit accumulator, MSB side filled first
+        self._nacc = 0  # number of valid bits in the accumulator
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nacc += 1
+        if self._nacc == 8:
+            self._buf.append(self._acc)
+            self._acc = 0
+            self._nacc = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, MSB-first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if width == 0:
+            return
+        value &= (1 << width) - 1
+        self._acc = (self._acc << width) | value
+        self._nacc += width
+        while self._nacc >= 8:
+            self._nacc -= 8
+            self._buf.append((self._acc >> self._nacc) & 0xFF)
+        self._acc &= (1 << self._nacc) - 1
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buf) + self._nacc
+
+    def getvalue(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        if self._nacc:
+            return bytes(self._buf) + bytes([(self._acc << (8 - self._nacc)) & 0xFF])
+        return bytes(self._buf)
+
+
+class BitReader:
+    """Sequential MSB-first bit reader over a ``bytes`` buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def bit_position(self) -> int:
+        """Current absolute bit offset from the start of the buffer."""
+        return self._pos
+
+    def seek_bit(self, position: int) -> None:
+        """Jump to an absolute bit offset."""
+        if position < 0 or position > 8 * len(self._data):
+            raise DecompressionError("bit seek out of range")
+        self._pos = position
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises :class:`DecompressionError` at EOF."""
+        byte_idx = self._pos >> 3
+        if byte_idx >= len(self._data):
+            raise DecompressionError("bit stream exhausted")
+        bit = (self._data[byte_idx] >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits MSB-first and return them as an int."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        end = self._pos + width
+        if end > 8 * len(self._data):
+            raise DecompressionError("bit stream exhausted")
+        out = 0
+        pos = self._pos
+        remaining = width
+        while remaining > 0:
+            byte_idx = pos >> 3
+            offset = pos & 7
+            take = min(8 - offset, remaining)
+            chunk = (self._data[byte_idx] >> (8 - offset - take)) & ((1 << take) - 1)
+            out = (out << take) | chunk
+            pos += take
+            remaining -= take
+        self._pos = pos
+        return out

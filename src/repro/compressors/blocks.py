@@ -1,0 +1,63 @@
+"""Blocking helpers shared by the block-based codecs (SZ2, ZFP, SZx).
+
+Arrays are padded (edge-replicated) to a multiple of the block side along
+every axis, then reshaped into a ``(n_blocks, block_elems)`` matrix so the
+per-block kernels can be vectorized across blocks.  ``unblockify`` inverts the
+operation and crops back to the original shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["blockify", "unblockify", "padded_shape"]
+
+
+def padded_shape(shape: tuple[int, ...], block: tuple[int, ...]) -> tuple[int, ...]:
+    """Shape after padding each axis up to a multiple of the block side."""
+    if len(shape) != len(block):
+        raise ValueError("shape and block must have equal rank")
+    return tuple(-(-n // b) * b for n, b in zip(shape, block))
+
+
+def blockify(values: np.ndarray, block: tuple[int, ...]) -> np.ndarray:
+    """Split ``values`` into blocks; returns ``(n_blocks, *block)``.
+
+    Blocks are ordered raster-wise over the block grid.  Padding replicates
+    edge values, which keeps padded residuals near zero for smooth fields.
+    """
+    values = np.asarray(values)
+    ndim = values.ndim
+    if len(block) != ndim:
+        raise ValueError("block rank must match array rank")
+    target = padded_shape(values.shape, block)
+    pad = [(0, t - n) for n, t in zip(values.shape, target)]
+    if any(p[1] for p in pad):
+        values = np.pad(values, pad, mode="edge")
+    # Reshape to interleaved (grid0, b0, grid1, b1, ...) then bring grid axes first.
+    inter = []
+    for n, b in zip(values.shape, block):
+        inter.extend([n // b, b])
+    arr = values.reshape(inter)
+    grid_axes = tuple(range(0, 2 * ndim, 2))
+    block_axes = tuple(range(1, 2 * ndim, 2))
+    arr = arr.transpose(grid_axes + block_axes)
+    n_blocks = int(np.prod([values.shape[d] // block[d] for d in range(ndim)]))
+    return np.ascontiguousarray(arr.reshape((n_blocks,) + tuple(block)))
+
+
+def unblockify(
+    blocks: np.ndarray, shape: tuple[int, ...], block: tuple[int, ...]
+) -> np.ndarray:
+    """Inverse of :func:`blockify`; crops the padding back off."""
+    ndim = len(shape)
+    target = padded_shape(shape, block)
+    grid = [t // b for t, b in zip(target, block)]
+    arr = blocks.reshape(tuple(grid) + tuple(block))
+    # (g0, g1, ..., b0, b1, ...) -> (g0, b0, g1, b1, ...)
+    perm = []
+    for d in range(ndim):
+        perm.extend([d, ndim + d])
+    arr = arr.transpose(perm).reshape(target)
+    crop = tuple(slice(0, n) for n in shape)
+    return np.ascontiguousarray(arr[crop])

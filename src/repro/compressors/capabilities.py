@@ -1,0 +1,39 @@
+"""Reference-implementation capability matrix (paper Section IV-C).
+
+The paper notes two limitations of the *reference* codebases at the time of
+the study: "QoZ is not capable of compressing 1D data, and the OpenMP
+version of SZ2 is not capable of compressing 1D or 4D data."  Our pure-NumPy
+reimplementations do not share those limitations, but experiments that aim
+for strict fidelity to the paper's measurement matrix (which bars/panels are
+missing from its figures) can consult this table.
+
+``supported(codec, ndim, mode)`` answers whether the paper's toolchain could
+run that combination; drivers pass ``paper_fidelity=True`` to honour it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["supported", "unsupported_reason", "REFERENCE_LIMITATIONS"]
+
+#: (codec, ndim, mode) -> reason.  mode is "serial" or "openmp"; ndim is the
+#: dataset rank.  Absence means supported.
+REFERENCE_LIMITATIONS: dict[tuple[str, int, str], str] = {
+    ("qoz", 1, "serial"): "QoZ (2023.11.07) cannot compress 1D data",
+    ("qoz", 1, "openmp"): "QoZ (2023.11.07) cannot compress 1D data",
+    ("sz2", 1, "openmp"): "OpenMP SZ2 (1.12.5) cannot compress 1D data",
+    ("sz2", 4, "openmp"): "OpenMP SZ2 (1.12.5) cannot compress 4D data",
+}
+
+
+def supported(codec: str, ndim: int, mode: str = "serial") -> bool:
+    """Could the paper's reference toolchain run this combination?"""
+    if mode not in ("serial", "openmp"):
+        raise ValueError(f"mode must be serial/openmp, got {mode!r}")
+    return (codec, ndim, mode) not in REFERENCE_LIMITATIONS
+
+
+def unsupported_reason(codec: str, ndim: int, mode: str = "serial") -> str | None:
+    """The paper's stated reason, or None if the combination is supported."""
+    if mode not in ("serial", "openmp"):
+        raise ValueError(f"mode must be serial/openmp, got {mode!r}")
+    return REFERENCE_LIMITATIONS.get((codec, ndim, mode))

@@ -1,0 +1,252 @@
+"""Canonical Huffman codec for quantization-code streams.
+
+The SZ family entropy-codes quantization indices with Huffman before a final
+DEFLATE pass.  This module implements a canonical Huffman code:
+
+- tree construction with a heap over symbol frequencies,
+- code lengths limited to :data:`MAX_CODE_LENGTH` via the standard
+  length-limiting adjustment (rarely triggered for quantization data),
+- a compact header storing only the symbol list and code lengths,
+- vectorized encoding through :func:`repro.compressors.bitstream.pack_bits`,
+- table-accelerated decoding (single :data:`PEEK_BITS`-bit lookup for short
+  codes, canonical first-code search for long ones).
+
+Encoding of ``n`` symbols costs O(n) NumPy work plus O(distinct lengths)
+passes; decoding is a tight per-symbol loop over a 4096-entry lookup table,
+which is the best pure-Python trade-off for the array sizes this package
+processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+from repro.compressors.bitstream import pack_bits
+from repro.errors import DecompressionError
+
+__all__ = ["HuffmanCodec", "huffman_encode", "huffman_decode"]
+
+MAX_CODE_LENGTH = 32
+PEEK_BITS = 12
+
+_HEADER = struct.Struct("<IHI")  # n_symbols_encoded, n_distinct, payload_bits
+
+
+def _code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Huffman code length per symbol (0 for absent symbols).
+
+    Uses the classic two-queue/heap algorithm on (frequency, tiebreak) pairs.
+    A single distinct symbol gets length 1 so the stream is still decodable.
+    """
+    present = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.int64)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    # Heap items: (freq, tiebreak, leaf symbols under this node)
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in present
+    ]
+    heapq.heapify(heap)
+    tiebreak = int(freqs.size)
+    while len(heap) > 1:
+        fa, _, la = heapq.heappop(heap)
+        fb, _, lb = heapq.heappop(heap)
+        for s in la:
+            lengths[s] += 1
+        for s in lb:
+            lengths[s] += 1
+        heapq.heappush(heap, (fa + fb, tiebreak, la + lb))
+        tiebreak += 1
+
+    # Limit code lengths (defensive; extremely skewed inputs only).
+    if lengths.max() > MAX_CODE_LENGTH:
+        lengths = np.minimum(lengths, MAX_CODE_LENGTH)
+        # Repair Kraft inequality by lengthening the shortest codes.
+        while _kraft(lengths) > 1.0:
+            cand = np.flatnonzero((lengths > 0) & (lengths < MAX_CODE_LENGTH))
+            shortest = cand[np.argmin(lengths[cand])]
+            lengths[shortest] += 1
+    return lengths
+
+
+def _kraft(lengths: np.ndarray) -> float:
+    nz = lengths[lengths > 0]
+    return float(np.sum(2.0 ** (-nz.astype(np.float64))))
+
+
+def _canonical_codes(symbols: np.ndarray, lengths: np.ndarray):
+    """Assign canonical codes: sort by (length, symbol), count upward."""
+    order = np.lexsort((symbols, lengths))
+    sorted_syms = symbols[order]
+    sorted_lens = lengths[order]
+    codes = np.zeros(symbols.size, dtype=np.uint64)
+    code = 0
+    prev_len = int(sorted_lens[0]) if symbols.size else 0
+    for i in range(symbols.size):
+        ln = int(sorted_lens[i])
+        code <<= ln - prev_len
+        codes[i] = code
+        code += 1
+        prev_len = ln
+    return sorted_syms, sorted_lens, codes
+
+
+class HuffmanCodec:
+    """Encode/decode integer symbol arrays with a canonical Huffman code."""
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode a 1-D array of non-negative integers.
+
+        The output is self-describing: header + symbol/length table + packed
+        payload.  An empty input encodes to a valid empty stream.
+        """
+        symbols = np.ascontiguousarray(symbols)
+        if symbols.ndim != 1:
+            raise ValueError("HuffmanCodec.encode expects a 1-D array")
+        n = symbols.size
+        if n == 0:
+            return _HEADER.pack(0, 0, 0)
+        if symbols.min() < 0:
+            raise ValueError("symbols must be non-negative")
+
+        values, inverse, counts = np.unique(
+            symbols, return_inverse=True, return_counts=True
+        )
+        if values.size == 1:
+            # Degenerate alphabet: the count alone reconstructs the stream.
+            header = _HEADER.pack(n, 1, 0)
+            table = values.astype(np.uint64).tobytes() + b"\x01"
+            return header + table
+        freqs = counts.astype(np.int64)
+        lengths = _code_lengths(freqs)
+        sorted_syms, sorted_lens, codes = _canonical_codes(
+            np.arange(values.size), lengths
+        )
+        # Per-distinct-symbol code/length, indexed by position in `values`.
+        sym_code = np.zeros(values.size, dtype=np.uint64)
+        sym_len = np.zeros(values.size, dtype=np.int64)
+        sym_code[sorted_syms] = codes
+        sym_len[sorted_syms] = sorted_lens
+
+        payload = pack_bits(sym_code[inverse], sym_len[inverse])
+        payload_bits = int(sym_len[inverse].sum())
+
+        header = _HEADER.pack(n, values.size, payload_bits)
+        table = values.astype(np.uint64).tobytes() + sym_len.astype(np.uint8).tobytes()
+        return header + table + payload
+
+    def decode(self, data: bytes) -> np.ndarray:
+        """Decode a stream produced by :meth:`encode` (returns ``int64``)."""
+        if len(data) < _HEADER.size:
+            raise DecompressionError("huffman stream too short for header")
+        n, n_distinct, payload_bits = _HEADER.unpack_from(data, 0)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        off = _HEADER.size
+        table_bytes = n_distinct * 8 + n_distinct
+        if len(data) < off + table_bytes:
+            raise DecompressionError("huffman stream truncated in symbol table")
+        values = np.frombuffer(data, dtype=np.uint64, count=n_distinct, offset=off)
+        off += n_distinct * 8
+        lengths = np.frombuffer(
+            data, dtype=np.uint8, count=n_distinct, offset=off
+        ).astype(np.int64)
+        off += n_distinct
+
+        if n_distinct == 1:
+            return np.full(n, int(values[0]), dtype=np.int64)
+
+        sorted_idx, sorted_lens, codes = _canonical_codes(
+            np.arange(n_distinct), lengths
+        )
+        sorted_values = values[sorted_idx].astype(np.int64)
+
+        # Fast path table: PEEK_BITS-bit prefix -> (value, length) for short codes.
+        table_val = np.full(1 << PEEK_BITS, -1, dtype=np.int64)
+        table_len = np.zeros(1 << PEEK_BITS, dtype=np.int64)
+        for i in range(n_distinct):
+            ln = int(sorted_lens[i])
+            if ln <= PEEK_BITS:
+                base = int(codes[i]) << (PEEK_BITS - ln)
+                span = 1 << (PEEK_BITS - ln)
+                table_val[base : base + span] = sorted_values[i]
+                table_len[base : base + span] = ln
+        # Canonical decode bounds for the slow path (codes longer than PEEK_BITS).
+        first_code = {}
+        first_index = {}
+        count_by_len = {}
+        for i in range(n_distinct):
+            ln = int(sorted_lens[i])
+            if ln not in first_code:
+                first_code[ln] = int(codes[i])
+                first_index[ln] = i
+                count_by_len[ln] = 0
+            count_by_len[ln] += 1
+
+        # Pack payload bits into one big integer for O(1) windowed peeks.
+        stream = int.from_bytes(data[off:], "big")
+        total_bits = 8 * (len(data) - off)
+        if total_bits < payload_bits:
+            raise DecompressionError("huffman payload truncated")
+
+        out = np.empty(n, dtype=np.int64)
+        pos = 0
+        tv = table_val
+        tl = table_len
+        for i in range(n):
+            if pos + PEEK_BITS <= total_bits:
+                window = (stream >> (total_bits - pos - PEEK_BITS)) & (
+                    (1 << PEEK_BITS) - 1
+                )
+            else:
+                avail = total_bits - pos
+                if avail <= 0:
+                    raise DecompressionError("huffman payload exhausted")
+                window = (stream & ((1 << avail) - 1)) << (PEEK_BITS - avail)
+            val = tv[window]
+            if val >= 0:
+                out[i] = val
+                # Keep `pos` a Python int: numpy int64 would poison the
+                # arbitrary-precision shifts on `stream`.
+                pos += int(tl[window])
+                continue
+            # Slow path: canonical search over lengths > PEEK_BITS.  Short
+            # lengths cannot match here: any short code that prefixes this
+            # window would have populated the lookup table.
+            ln = PEEK_BITS
+            while True:
+                ln += 1
+                if pos + ln > total_bits or ln > MAX_CODE_LENGTH:
+                    raise DecompressionError("invalid huffman code")
+                code = (stream >> (total_bits - pos - ln)) & ((1 << ln) - 1)
+                if ln in first_code:
+                    offset = code - first_code[ln]
+                    if 0 <= offset < count_by_len[ln]:
+                        out[i] = sorted_values[first_index[ln] + offset]
+                        pos += ln
+                        break
+        if pos != payload_bits:
+            raise DecompressionError(
+                f"huffman payload length mismatch: consumed {pos}, expected {payload_bits}"
+            )
+        return out
+
+
+_DEFAULT = HuffmanCodec()
+
+
+def huffman_encode(symbols: np.ndarray) -> bytes:
+    """Module-level convenience wrapper around :class:`HuffmanCodec`."""
+    return _DEFAULT.encode(symbols)
+
+
+def huffman_decode(data: bytes) -> np.ndarray:
+    """Module-level convenience wrapper around :class:`HuffmanCodec`."""
+    return _DEFAULT.decode(data)

@@ -1,0 +1,232 @@
+"""Multilevel spline-interpolation prediction engine (SZ3 / QoZ core).
+
+SZ3 predicts values hierarchically: anchor points on a coarse ``2^L`` grid
+are stored exactly; every level then halves the grid spacing dimension by
+dimension, predicting each new point by 1-D **linear** or **cubic** (4-point
+spline) interpolation from already-reconstructed neighbours along the active
+dimension.  Residuals are quantized immediately, so predictions always read
+*reconstructed* values and the error bound never compounds.
+
+The interpolator (linear vs cubic) is chosen dynamically per (level,
+dimension) pass — the paper's "multi-dimensional dynamic spline
+interpolation" — by comparing trial residuals; the choice bits travel in the
+stream so the decoder replays the identical traversal.
+
+QoZ reuses this engine with per-level error-bound tightening (see
+:mod:`repro.compressors.qoz`), passed in via ``level_bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.compressors.quantizer import LinearQuantizer
+
+__all__ = ["InterpolationPlan", "interp_encode", "interp_decode", "num_levels"]
+
+LINEAR, CUBIC = 0, 1
+
+
+def num_levels(shape: tuple[int, ...]) -> int:
+    """Number of halving levels so the anchor grid has stride ``2**L``."""
+    longest = max(shape)
+    levels = 1
+    while (1 << levels) < longest:
+        levels += 1
+    return levels
+
+
+@dataclass
+class InterpolationPlan:
+    """One (level, dimension) refinement pass of the traversal."""
+
+    level: int
+    dim: int
+    #: Coordinate vectors of the target grid (Cartesian product via np.ix_).
+    coords: tuple[np.ndarray, ...]
+
+
+def _passes(shape: tuple[int, ...], levels: int):
+    """Deterministic traversal shared by encoder and decoder."""
+    ndim = len(shape)
+    plans: list[InterpolationPlan] = []
+    for level in range(levels, 0, -1):
+        stride = 1 << level
+        h = stride >> 1
+        for d in range(ndim):
+            coords = []
+            empty = False
+            for k in range(ndim):
+                n = shape[k]
+                if k < d:
+                    c = np.arange(0, n, h, dtype=np.int64)
+                elif k == d:
+                    c = np.arange(h, n, stride, dtype=np.int64)
+                else:
+                    c = np.arange(0, n, stride, dtype=np.int64)
+                if c.size == 0:
+                    empty = True
+                    break
+                coords.append(c)
+            if not empty:
+                plans.append(InterpolationPlan(level, d, tuple(coords)))
+    return plans
+
+
+def _axis_shape(ndim: int, d: int, n: int) -> tuple[int, ...]:
+    """Broadcast shape placing ``n`` on axis ``d``."""
+    s = [1] * ndim
+    s[d] = n
+    return tuple(s)
+
+
+def _predict(
+    recon: np.ndarray, plan: InterpolationPlan, mode: int, h: int
+) -> np.ndarray:
+    """Interpolate the target grid of ``plan`` from reconstructed values."""
+    d = plan.dim
+    ndim = recon.ndim
+    n_d = recon.shape[d]
+    cd = plan.coords[d]
+
+    def grid(shift_coord: np.ndarray) -> np.ndarray:
+        cs = list(plan.coords)
+        cs[d] = shift_coord
+        return recon[np.ix_(*cs)]
+
+    left = grid(cd - h)
+    right_ok = cd + h < n_d
+    right = grid(np.where(right_ok, cd + h, cd - h))
+    ok = right_ok.reshape(_axis_shape(ndim, d, cd.size))
+    linear = np.where(ok, 0.5 * (left + right), left)
+    if mode == LINEAR:
+        return linear
+
+    cubic_ok = (cd - 3 * h >= 0) & (cd + 3 * h < n_d)
+    if not cubic_ok.any():
+        return linear
+    far_left = grid(np.where(cubic_ok, cd - 3 * h, cd - h))
+    far_right = grid(np.where(cubic_ok, cd + 3 * h, cd - h))
+    cubic = (-far_left + 9.0 * left + 9.0 * right - far_right) / 16.0
+    okc = cubic_ok.reshape(_axis_shape(ndim, d, cd.size))
+    return np.where(okc & ok, cubic, linear)
+
+
+def _anchor_coords(shape: tuple[int, ...], levels: int):
+    stride = 1 << levels
+    return tuple(np.arange(0, n, stride, dtype=np.int64) for n in shape)
+
+
+def interp_encode(
+    values: np.ndarray,
+    abs_bound: float,
+    level_bound: Callable[[int], float] | None = None,
+):
+    """Encode with the multilevel interpolation predictor.
+
+    Parameters
+    ----------
+    values:
+        float64 array, any rank >= 1.
+    abs_bound:
+        Global absolute error bound.
+    level_bound:
+        Optional ``level -> abs_bound`` override (QoZ tightening).  Returned
+        bounds are clamped to ``(0, abs_bound]``.
+
+    Returns
+    -------
+    anchors : np.ndarray
+        Exact float64 anchor values (traversal order).
+    modes : list[int]
+        Per-pass interpolator choice (LINEAR/CUBIC).
+    codes : np.ndarray
+        Concatenated quantization symbols (traversal order).
+    outliers : np.ndarray
+        Escape-coded exact values (traversal order).
+    recon : np.ndarray
+        The decoder-visible reconstruction.
+    """
+    shape = values.shape
+    levels = num_levels(shape)
+    recon = np.zeros_like(values, dtype=np.float64)
+    a_coords = _anchor_coords(shape, levels)
+    anchors = values[np.ix_(*a_coords)].astype(np.float64).copy()
+    recon[np.ix_(*a_coords)] = anchors
+
+    modes: list[int] = []
+    code_parts: list[np.ndarray] = []
+    outlier_parts: list[np.ndarray] = []
+    for plan in _passes(shape, levels):
+        h = 1 << (plan.level - 1)
+        eb = abs_bound if level_bound is None else min(abs_bound, level_bound(plan.level))
+        eb = max(eb, np.finfo(np.float64).tiny)
+        quantizer = LinearQuantizer(eb)
+        target = values[np.ix_(*plan.coords)]
+
+        pred_lin = _predict(recon, plan, LINEAR, h)
+        pred_cub = _predict(recon, plan, CUBIC, h)
+        err_lin = float(np.abs(target - pred_lin).sum())
+        err_cub = float(np.abs(target - pred_cub).sum())
+        mode = CUBIC if err_cub < err_lin else LINEAR
+        pred = pred_cub if mode == CUBIC else pred_lin
+        modes.append(mode)
+
+        q = quantizer.quantize(target, pred)
+        recon[np.ix_(*plan.coords)] = q.recon
+        code_parts.append(q.codes.ravel())
+        outlier_parts.append(q.outliers)
+
+    codes = (
+        np.concatenate(code_parts) if code_parts else np.zeros(0, dtype=np.int64)
+    )
+    outliers = (
+        np.concatenate(outlier_parts) if outlier_parts else np.zeros(0)
+    )
+    return anchors.ravel(), modes, codes, outliers, recon
+
+
+def interp_decode(
+    shape: tuple[int, ...],
+    abs_bound: float,
+    anchors: np.ndarray,
+    modes: list[int],
+    codes: np.ndarray,
+    outliers: np.ndarray,
+    level_bound: Callable[[int], float] | None = None,
+) -> np.ndarray:
+    """Replay :func:`interp_encode`'s traversal to reconstruct the array."""
+    levels = num_levels(shape)
+    recon = np.zeros(shape, dtype=np.float64)
+    a_coords = _anchor_coords(shape, levels)
+    a_shape = tuple(c.size for c in a_coords)
+    recon[np.ix_(*a_coords)] = np.asarray(anchors, dtype=np.float64).reshape(a_shape)
+
+    code_pos = 0
+    out_pos = 0
+    plans = _passes(shape, levels)
+    if len(modes) != len(plans):
+        raise ValueError(
+            f"interpolation mode list length {len(modes)} != {len(plans)} passes"
+        )
+    for plan, mode in zip(plans, modes):
+        h = 1 << (plan.level - 1)
+        eb = abs_bound if level_bound is None else min(abs_bound, level_bound(plan.level))
+        eb = max(eb, np.finfo(np.float64).tiny)
+        quantizer = LinearQuantizer(eb)
+        tshape = tuple(c.size for c in plan.coords)
+        n = int(np.prod(tshape))
+        sub_codes = codes[code_pos : code_pos + n].reshape(tshape)
+        code_pos += n
+        n_esc = int((sub_codes == 0).sum())
+        sub_out = outliers[out_pos : out_pos + n_esc]
+        out_pos += n_esc
+
+        pred = _predict(recon, plan, mode, h)
+        recon[np.ix_(*plan.coords)] = quantizer.dequantize(sub_codes, pred, sub_out)
+    if code_pos != codes.size:
+        raise ValueError("interpolation code stream length mismatch")
+    return recon

@@ -1,0 +1,25 @@
+"""Lossless floating-point baselines for the Figure-1 comparison.
+
+The paper contrasts EBLC ratios against four lossless compressors; each is
+reimplemented here with the algorithmic character that determines its ratio
+on floating-point data:
+
+- :class:`~repro.compressors.lossless.zstd_like.ZstdLike` — general-purpose
+  LZ + entropy coding (DEFLATE stands in for Zstd's engine);
+- :class:`~repro.compressors.lossless.blosc_like.BloscLike` — byte shuffle
+  filter + blocked DEFLATE (C-Blosc2's shuffle+codec structure);
+- :class:`~repro.compressors.lossless.fpzip_like.FpzipLike` — predictive
+  coding of float bit patterns with residual byte-plane compression;
+- :class:`~repro.compressors.lossless.fpc.FPC` — value-XOR prediction with
+  leading-zero-byte elimination (Burtscher & Ratanaworabhan's FPC, using the
+  previous-value predictor; decode is a vectorized XOR prefix scan).
+
+All four roundtrip bit-exactly (verified by property tests).
+"""
+
+from repro.compressors.lossless.zstd_like import ZstdLike
+from repro.compressors.lossless.blosc_like import BloscLike
+from repro.compressors.lossless.fpzip_like import FpzipLike
+from repro.compressors.lossless.fpc import FPC
+
+__all__ = ["ZstdLike", "BloscLike", "FpzipLike", "FPC"]

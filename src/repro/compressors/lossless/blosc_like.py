@@ -1,0 +1,66 @@
+"""C-Blosc2 stand-in: byte-shuffle filter + blocked DEFLATE.
+
+Blosc's ratio advantage on floats comes from its shuffle filter (grouping
+the i-th byte of every element so slowly-varying exponent bytes become long
+runs) and cache-sized blocking.  Both are reproduced; DEFLATE replaces the
+internal codec.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.compressors.base import Compressor, register_compressor
+from repro.errors import DecompressionError
+
+__all__ = ["BloscLike"]
+
+_BLOCK_BYTES = 1 << 18  # 256 KiB blocks, Blosc's default neighbourhood
+
+
+@register_compressor
+class BloscLike(Compressor):
+    """Shuffle + blocked DEFLATE lossless codec."""
+
+    name = "blosc"
+    lossless = True
+
+    def __init__(self, level: int = 5):
+        self.level = int(level)
+
+    def _compress_impl(self, values: np.ndarray, abs_bound: float) -> bytes:
+        arr = np.ascontiguousarray(values)
+        itemsize = arr.dtype.itemsize
+        raw = arr.view(np.uint8).reshape(-1, itemsize)
+        # Shuffle: transpose so byte-plane i of all elements is contiguous.
+        shuffled = np.ascontiguousarray(raw.T).tobytes()
+        chunks = [
+            zlib.compress(shuffled[i : i + _BLOCK_BYTES], self.level)
+            for i in range(0, len(shuffled), _BLOCK_BYTES)
+        ]
+        head = struct.pack("<QBI", len(shuffled), itemsize, len(chunks))
+        body = b"".join(struct.pack("<I", len(c)) + c for c in chunks)
+        return head + body
+
+    def _decompress_impl(
+        self, payload: bytes, shape: tuple[int, ...], abs_bound: float
+    ) -> np.ndarray:
+        total, itemsize, n_chunks = struct.unpack_from("<QBI", payload, 0)
+        off = 13
+        parts = []
+        for _ in range(n_chunks):
+            (clen,) = struct.unpack_from("<I", payload, off)
+            off += 4
+            parts.append(zlib.decompress(payload[off : off + clen]))
+            off += clen
+        shuffled = b"".join(parts)
+        if len(shuffled) != total:
+            raise DecompressionError("blosc-like shuffled length mismatch")
+        n = total // itemsize
+        planes = np.frombuffer(shuffled, dtype=np.uint8).reshape(itemsize, n)
+        raw = np.ascontiguousarray(planes.T).reshape(-1)
+        dtype = np.float32 if itemsize == 4 else np.float64
+        return raw.view(dtype).reshape(shape)

@@ -1,0 +1,100 @@
+"""SZ3: interpolation-based EBLC (Liang et al., IEEE TBD 2023).
+
+SZ3 replaces SZ2's block regression with multilevel dynamic spline
+interpolation (see :mod:`repro.compressors.interpolation`), which needs no
+stored coefficients and wins at loose-to-moderate error bounds.  The encoded
+stream is: exact anchors, per-pass interpolator choice bits, Huffman-coded
+quantization symbols, DEFLATE-compressed, plus the escape pool.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.compressors.base import Compressor, register_compressor
+from repro.compressors.huffman import huffman_decode, huffman_encode
+from repro.compressors.interpolation import interp_decode, interp_encode
+from repro.errors import DecompressionError
+
+__all__ = ["SZ3"]
+
+_ZLIB_LEVEL = 6
+
+
+def _pack_chunk(raw: bytes) -> bytes:
+    comp = zlib.compress(raw, _ZLIB_LEVEL)
+    return struct.pack("<QQ", len(comp), len(raw)) + comp
+
+
+def _unpack_chunk(data: bytes, off: int) -> tuple[bytes, int]:
+    if len(data) < off + 16:
+        raise DecompressionError("sz3 stream truncated in chunk header")
+    clen, rlen = struct.unpack_from("<QQ", data, off)
+    off += 16
+    if len(data) < off + clen:
+        raise DecompressionError("sz3 stream truncated in chunk body")
+    raw = zlib.decompress(data[off : off + clen])
+    if len(raw) != rlen:
+        raise DecompressionError("sz3 chunk length mismatch after inflate")
+    return raw, off + clen
+
+
+@register_compressor
+class SZ3(Compressor):
+    """Interpolation-predictor EBLC; highest CR of the suite at loose bounds."""
+
+    name = "sz3"
+
+    def _level_bound(self, abs_bound: float):
+        """SZ3 uses the uniform bound at every level (QoZ overrides this)."""
+        return None
+
+    def _compress_impl(self, values: np.ndarray, abs_bound: float) -> bytes:
+        anchors, modes, codes, outliers, _ = interp_encode(
+            values, abs_bound, self._level_bound(abs_bound)
+        )
+        mode_bytes = np.packbits(np.asarray(modes, dtype=np.uint8)).tobytes()
+        parts = [
+            struct.pack("<II", len(modes), anchors.size),
+            mode_bytes,
+            _pack_chunk(anchors.astype(np.float64).tobytes()),
+            _pack_chunk(outliers.astype(np.float64).tobytes()),
+            _pack_chunk(huffman_encode(codes)),
+        ]
+        return b"".join(parts)
+
+    def _decompress_impl(
+        self, payload: bytes, shape: tuple[int, ...], abs_bound: float
+    ) -> np.ndarray:
+        off = 0
+        n_modes, n_anchor = struct.unpack_from("<II", payload, off)
+        off += 8
+        n_mode_bytes = -(-n_modes // 8)
+        modes = (
+            np.unpackbits(
+                np.frombuffer(payload, dtype=np.uint8, count=n_mode_bytes, offset=off)
+            )[:n_modes]
+            .astype(int)
+            .tolist()
+        )
+        off += n_mode_bytes
+        anchor_raw, off = _unpack_chunk(payload, off)
+        outlier_raw, off = _unpack_chunk(payload, off)
+        huff_raw, off = _unpack_chunk(payload, off)
+        anchors = np.frombuffer(anchor_raw, dtype=np.float64)
+        if anchors.size != n_anchor:
+            raise DecompressionError("sz3 anchor count mismatch")
+        outliers = np.frombuffer(outlier_raw, dtype=np.float64)
+        codes = huffman_decode(huff_raw)
+        return interp_decode(
+            shape,
+            abs_bound,
+            anchors,
+            modes,
+            codes,
+            outliers,
+            self._level_bound(abs_bound),
+        )

@@ -1,0 +1,25 @@
+"""Core: the paper's decision framework and the experiment drivers.
+
+- :mod:`repro.core.formulation` — Section III's benefit conditions (Eq. 3-5);
+- :mod:`repro.core.tradeoff` — grid evaluation of (codec, bound) choices;
+- :mod:`repro.core.advisor` — pick the best codec under a quality floor;
+- :mod:`repro.core.experiments` — the Testbed and one driver per
+  figure/table of the evaluation;
+- :mod:`repro.core.extrapolation` — Section VII facility-scale projections;
+- :mod:`repro.core.report` — ASCII rendering of tables and figure series.
+"""
+
+from repro.core.formulation import BenefitConditions, CompressionPlan
+from repro.core.tradeoff import TradeoffAnalyzer, TradeoffRecord
+from repro.core.advisor import Advisor, Recommendation
+from repro.core.experiments import Testbed
+
+__all__ = [
+    "BenefitConditions",
+    "CompressionPlan",
+    "TradeoffAnalyzer",
+    "TradeoffRecord",
+    "Advisor",
+    "Recommendation",
+    "Testbed",
+]

@@ -1,0 +1,118 @@
+"""Compression advisor: the paper's "framework for informed decisions".
+
+Given a dataset, a quality floor (Eq. 5) and an optimization objective, the
+advisor evaluates the (codec, bound) grid through
+:class:`~repro.core.tradeoff.TradeoffAnalyzer` and recommends the best plan
+that satisfies every benefit condition — encoding the paper's Section VII
+guidance (SZx/ZFP when energy-bound, SZ3/QoZ when storage-bound, tighter
+bounds only as the application's PSNR floor demands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formulation import CompressionPlan
+from repro.core.tradeoff import TradeoffAnalyzer, TradeoffRecord
+from repro.errors import ConfigurationError
+
+__all__ = ["Recommendation", "Advisor"]
+
+_OBJECTIVES = ("energy", "ratio", "time")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict for one dataset."""
+
+    plan: CompressionPlan | None  # None = do not compress
+    objective: str
+    psnr_min_db: float
+    rationale: str
+    record: TradeoffRecord | None
+    alternatives: tuple[TradeoffRecord, ...]
+
+    @property
+    def should_compress(self) -> bool:
+        return self.plan is not None
+
+
+class Advisor:
+    """Recommend a (codec, bound) plan, or advise against compression."""
+
+    def __init__(self, analyzer: TradeoffAnalyzer | None = None):
+        self.analyzer = analyzer or TradeoffAnalyzer()
+
+    def recommend(
+        self,
+        dataset: str,
+        psnr_min_db: float = 60.0,
+        objective: str = "energy",
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        require_time_benefit: bool = True,
+    ) -> Recommendation:
+        """Pick the best plan meeting Eq. 5 (and, optionally, Eq. 3-4).
+
+        ``objective``:
+
+        - ``"energy"`` — minimize compress+write energy (Eq. 4 LHS);
+        - ``"ratio"``  — maximize compression ratio (storage-bound sites);
+        - ``"time"``   — minimize compress+write time (Eq. 3 LHS).
+        """
+        if objective not in _OBJECTIVES:
+            raise ConfigurationError(
+                f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+            )
+        records = self.analyzer.evaluate(
+            dataset, codecs=codecs, bounds=bounds, psnr_min_db=psnr_min_db
+        )
+        feasible = [r for r in records if r.conditions.quality_acceptable]
+        if require_time_benefit:
+            feasible = [
+                r
+                for r in feasible
+                if r.conditions.time_beneficial and r.conditions.energy_beneficial
+            ]
+        else:
+            feasible = [r for r in feasible if r.conditions.energy_beneficial]
+        if not feasible:
+            return Recommendation(
+                plan=None,
+                objective=objective,
+                psnr_min_db=psnr_min_db,
+                rationale=(
+                    "No (codec, bound) choice met the quality floor while "
+                    "beating uncompressed I/O in energy"
+                    + (" and time" if require_time_benefit else "")
+                    + "; write the data uncompressed (Eq. 3-5 infeasible)."
+                ),
+                record=None,
+                alternatives=tuple(records),
+            )
+        if objective == "energy":
+            best = min(feasible, key=lambda r: r.pipeline_energy_j)
+        elif objective == "time":
+            best = min(
+                feasible,
+                key=lambda r: r.conditions.compress_time_s
+                + r.conditions.write_time_compressed_s,
+            )
+        else:
+            best = max(feasible, key=lambda r: r.ratio)
+        rationale = (
+            f"{best.plan} meets PSNR >= {psnr_min_db:.0f} dB "
+            f"({best.psnr_db:.1f} dB) with ratio {best.ratio:.1f}x, saving "
+            f"{best.conditions.net_energy_saving_j:.0f} J and "
+            f"{best.conditions.net_time_saving_s:.2f} s versus uncompressed "
+            f"I/O through {best.io_library} (objective: {objective})."
+        )
+        others = tuple(r for r in feasible if r is not best)
+        return Recommendation(
+            plan=best.plan,
+            objective=objective,
+            psnr_min_db=psnr_min_db,
+            rationale=rationale,
+            record=best,
+            alternatives=others,
+        )

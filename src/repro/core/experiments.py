@@ -1,0 +1,557 @@
+"""The virtual testbed and one experiment driver per paper figure/table.
+
+:class:`Testbed` combines the four substrates:
+
+1. **real compression** of the synthetic datasets (ratios, PSNR, bytes);
+2. the **throughput model** for runtimes at paper scale on a Table-I CPU;
+3. the **RAPL/PAPI energy stack** for joules;
+4. the **I/O + cluster models** for write and multi-node experiments.
+
+Every driver returns plain dataclass records that the benchmark harness
+renders into the paper's rows/series.  Compression round-trips are memoized
+per (dataset, scale, codec, bound) — Figures 5/7/8/9 and Table III all share
+one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.campaign import CampaignResult, MultiNodeCampaign
+from repro.compressors import get_compressor
+from repro.compressors import lossless as _lossless  # noqa: F401 (registration)
+from repro.data.inflate import inflate
+from repro.data.registry import generate, get_dataset
+from repro.energy.cpus import CPUSpec, get_cpu
+from repro.energy.measurement import EnergyMeter, Phase
+from repro.energy.throughput import ThroughputModel
+from repro.errors import ConfigurationError
+from repro.iolib.base import IOLibrary, get_io_library
+from repro.iolib.pfs import PFSModel
+from repro.metrics.error import check_error_bound, max_rel_error
+from repro.metrics.quality import autocorrelation, psnr
+
+__all__ = [
+    "RoundtripRecord",
+    "SerialPoint",
+    "IOPoint",
+    "InflationPoint",
+    "Testbed",
+]
+
+
+@dataclass(frozen=True)
+class RoundtripRecord:
+    """Real compression outcome on the synthetic data."""
+
+    dataset: str
+    scale: str
+    codec: str
+    rel_bound: float
+    ratio: float
+    psnr_db: float
+    autocorr: float
+    max_rel_err: float
+    compressed_nbytes: int
+    original_nbytes: int
+
+
+@dataclass(frozen=True)
+class SerialPoint:
+    """One (dataset, codec, ε, CPU, threads) profiling measurement."""
+
+    dataset: str
+    codec: str
+    rel_bound: float
+    cpu: str
+    threads: int
+    compress_time_s: float
+    decompress_time_s: float
+    compress_energy_j: float
+    decompress_energy_j: float
+    roundtrip: RoundtripRecord
+
+    @property
+    def total_time_s(self) -> float:
+        return self.compress_time_s + self.decompress_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compress_energy_j + self.decompress_energy_j
+
+
+@dataclass(frozen=True)
+class IOPoint:
+    """One write experiment: (dataset, codec-or-original, I/O library)."""
+
+    dataset: str
+    codec: str | None  # None = uncompressed baseline
+    rel_bound: float | None
+    io_library: str
+    cpu: str
+    bytes_written: int
+    write_time_s: float
+    write_energy_j: float
+    compress_time_s: float
+    compress_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.write_energy_j + self.compress_energy_j
+
+
+@dataclass(frozen=True)
+class InflationPoint:
+    """One Fig. 13 point: inflated NYX at paper scale."""
+
+    codec: str
+    factor: int
+    paper_gb: float
+    ratio: float
+    compress_energy_j: float
+    decompress_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compress_energy_j + self.decompress_energy_j
+
+
+# Shared across Testbed instances so every bench in a session reuses sweeps.
+_ROUNDTRIP_CACHE: dict[tuple, RoundtripRecord] = {}
+
+
+class Testbed:
+    """The full virtual testbed; see module docstring."""
+
+    __test__ = False  # name starts with "Test" but this is not a test class
+
+    def __init__(
+        self,
+        scale: str = "bench",
+        pfs: PFSModel | None = None,
+        throughput: ThroughputModel | None = None,
+        sample_interval: float = 0.010,
+        verify_bounds: bool = True,
+    ):
+        self.scale = scale
+        self.pfs = pfs or PFSModel()
+        self.throughput = throughput or ThroughputModel()
+        self.sample_interval = sample_interval
+        self.verify_bounds = verify_bounds
+
+    # -- real compression (memoized) -----------------------------------------
+
+    def roundtrip(self, dataset: str, codec: str, rel_bound: float) -> RoundtripRecord:
+        """Compress + decompress the synthetic dataset for real."""
+        key = (dataset, self.scale, codec, float(rel_bound))
+        hit = _ROUNDTRIP_CACHE.get(key)
+        if hit is not None:
+            return hit
+        data = np.array(generate(dataset, self.scale))
+        comp = get_compressor(codec)
+        buf = comp.compress(data, rel_bound if not comp.lossless else 0.0)
+        recon = comp.decompress(buf)
+        if comp.lossless:
+            if not np.array_equal(recon, data):
+                raise ConfigurationError(f"lossless codec {codec} failed roundtrip")
+        elif self.verify_bounds:
+            check_error_bound(data, recon, rel_bound)
+        rec = RoundtripRecord(
+            dataset=dataset,
+            scale=self.scale,
+            codec=codec,
+            rel_bound=0.0 if comp.lossless else rel_bound,
+            ratio=buf.ratio,
+            psnr_db=psnr(data, recon),
+            autocorr=autocorrelation(data, recon),
+            max_rel_err=max_rel_error(data, recon),
+            compressed_nbytes=buf.nbytes,
+            original_nbytes=data.nbytes,
+        )
+        _ROUNDTRIP_CACHE[key] = rec
+        return rec
+
+    # -- energy primitives ----------------------------------------------------
+
+    def _meter(self, cpu: CPUSpec) -> EnergyMeter:
+        return EnergyMeter(cpu, sample_interval=self.sample_interval)
+
+    def serial_point(
+        self,
+        dataset: str,
+        codec: str,
+        rel_bound: float,
+        cpu_name: str = "max9480",
+        threads: int = 1,
+    ) -> SerialPoint:
+        """Profile one (de)compression at paper scale on a Table-I CPU."""
+        spec = get_dataset(dataset)
+        cpu = get_cpu(cpu_name)
+        rt = self.roundtrip(dataset, codec, rel_bound)
+        meter = self._meter(cpu)
+        nbytes = spec.profile_nbytes
+        times = {}
+        energies = {}
+        for direction in ("compress", "decompress"):
+            t = self.throughput.runtime(
+                codec,
+                direction,
+                nbytes,
+                rel_bound,
+                cpu,
+                threads=threads,
+                complexity=spec.complexity,
+            )
+            times[direction] = t
+            energies[direction] = meter.measure_compute(t, threads).energy_j
+        return SerialPoint(
+            dataset=dataset,
+            codec=codec,
+            rel_bound=rel_bound,
+            cpu=cpu_name,
+            threads=threads,
+            compress_time_s=times["compress"],
+            decompress_time_s=times["decompress"],
+            compress_energy_j=energies["compress"],
+            decompress_energy_j=energies["decompress"],
+            roundtrip=rt,
+        )
+
+    def write_report(
+        self, nbytes: int, io_library: IOLibrary, cpu: CPUSpec
+    ) -> tuple[float, float]:
+        """(seconds, joules) to write ``nbytes`` through an I/O library."""
+        cost = io_library.cost
+        t_ser = cost.serialize_seconds(nbytes, cpu.speed)
+        t_io = self.pfs.single_write_seconds(nbytes, cost.bandwidth_efficiency)
+        t_io += cost.open_latency_s
+        meter = self._meter(cpu)
+        report = meter.measure(
+            [
+                Phase(t_ser, 1, 1.0, "serialize"),
+                Phase(t_io, 1, cost.transfer_activity, "transfer"),
+            ]
+        )
+        return report.runtime_s, report.energy_j
+
+    def read_report(
+        self, nbytes: int, io_library: IOLibrary, cpu: CPUSpec
+    ) -> tuple[float, float]:
+        """(seconds, joules) to read ``nbytes`` back through an I/O library.
+
+        The paper's Section VI-A remark — "pulling compressed data out of
+        storage for analysis will have the same benefits" — made concrete:
+        a read is a transfer plus a deserialize pass.
+        """
+        cost = io_library.cost
+        t_io = self.pfs.single_read_seconds(nbytes, cost.bandwidth_efficiency)
+        t_io += cost.open_latency_s
+        t_deser = cost.serialize_seconds(nbytes, cpu.speed)
+        meter = self._meter(cpu)
+        report = meter.measure(
+            [
+                Phase(t_io, 1, cost.transfer_activity, "transfer"),
+                Phase(t_deser, 1, 1.0, "deserialize"),
+            ]
+        )
+        return report.runtime_s, report.energy_j
+
+    def read_point(
+        self,
+        dataset: str,
+        codec: str | None,
+        rel_bound: float | None,
+        io_library: str = "hdf5",
+        cpu_name: str = "max9480",
+    ) -> IOPoint:
+        """Read-path mirror of :meth:`io_point`: fetch + decompress.
+
+        ``compress_*`` fields carry the *decompression* cost on the read
+        path (the codec work needed before analysis can start).
+        """
+        spec = get_dataset(dataset)
+        cpu = get_cpu(cpu_name)
+        lib = get_io_library(io_library)
+        if codec is None:
+            nbytes = spec.paper_nbytes
+            t_d, e_d = 0.0, 0.0
+        else:
+            if rel_bound is None:
+                raise ConfigurationError("rel_bound required when codec is set")
+            rt = self.roundtrip(dataset, codec, rel_bound)
+            nbytes = max(1, int(round(spec.paper_nbytes / rt.ratio)))
+            t_d = self.throughput.runtime(
+                codec,
+                "decompress",
+                spec.paper_nbytes,
+                rel_bound,
+                cpu,
+                threads=1,
+                complexity=spec.complexity,
+            )
+            e_d = self._meter(cpu).measure_compute(t_d, 1).energy_j
+        t_r, e_r = self.read_report(nbytes, lib, cpu)
+        return IOPoint(
+            dataset=dataset,
+            codec=codec,
+            rel_bound=rel_bound,
+            io_library=io_library,
+            cpu=cpu_name,
+            bytes_written=nbytes,
+            write_time_s=t_r,
+            write_energy_j=e_r,
+            compress_time_s=t_d,
+            compress_energy_j=e_d,
+        )
+
+    def io_point(
+        self,
+        dataset: str,
+        codec: str | None,
+        rel_bound: float | None,
+        io_library: str = "hdf5",
+        cpu_name: str = "max9480",
+    ) -> IOPoint:
+        """One Fig. 11 bar: write compressed (or original) data to the PFS."""
+        spec = get_dataset(dataset)
+        cpu = get_cpu(cpu_name)
+        lib = get_io_library(io_library)
+        if codec is None:
+            nbytes = spec.paper_nbytes
+            t_c, e_c = 0.0, 0.0
+        else:
+            if rel_bound is None:
+                raise ConfigurationError("rel_bound required when codec is set")
+            rt = self.roundtrip(dataset, codec, rel_bound)
+            nbytes = max(1, int(round(spec.paper_nbytes / rt.ratio)))
+            t_c = self.throughput.runtime(
+                codec,
+                "compress",
+                spec.paper_nbytes,
+                rel_bound,
+                cpu,
+                threads=1,
+                complexity=spec.complexity,
+            )
+            e_c = self._meter(cpu).measure_compute(t_c, 1).energy_j
+        t_w, e_w = self.write_report(nbytes, lib, cpu)
+        return IOPoint(
+            dataset=dataset,
+            codec=codec,
+            rel_bound=rel_bound,
+            io_library=io_library,
+            cpu=cpu_name,
+            bytes_written=nbytes,
+            write_time_s=t_w,
+            write_energy_j=e_w,
+            compress_time_s=t_c,
+            compress_energy_j=e_c,
+        )
+
+    # -- figure/table drivers ---------------------------------------------------
+
+    def run_serial_sweep(
+        self,
+        datasets=("cesm", "hacc", "nyx", "s3d"),
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        cpus=("max9480",),
+        threads: int = 1,
+    ) -> list[SerialPoint]:
+        """Figs. 5 and 7 (and the data behind Figs. 8/9 and Table III)."""
+        out = []
+        for cpu in cpus:
+            for ds in datasets:
+                for codec in codecs:
+                    for eps in bounds:
+                        out.append(
+                            self.serial_point(ds, codec, eps, cpu, threads=threads)
+                        )
+        return out
+
+    def run_thread_sweep(
+        self,
+        datasets=("cesm", "hacc", "nyx", "s3d"),
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        threads=(1, 2, 4, 8, 16, 32, 64),
+        rel_bound: float = 1e-3,
+        cpus=("max9480",),
+        paper_fidelity: bool = False,
+    ) -> list[SerialPoint]:
+        """Fig. 10: OpenMP strong scaling at ε = 1e-3.
+
+        ``paper_fidelity=True`` drops the combinations the paper's reference
+        toolchain could not run (OpenMP SZ2 on 1-D/4-D, QoZ on 1-D) so the
+        output matrix matches the figure's missing bars exactly.
+        """
+        from repro.compressors.capabilities import supported
+
+        out = []
+        for cpu in cpus:
+            for ds in datasets:
+                ndim = len(get_dataset(ds).paper_shape)
+                for codec in codecs:
+                    if paper_fidelity and not supported(codec, ndim, "openmp"):
+                        continue
+                    for th in threads:
+                        out.append(
+                            self.serial_point(ds, codec, rel_bound, cpu, threads=th)
+                        )
+        return out
+
+    def run_quality_table(
+        self,
+        datasets=("nyx", "hacc", "s3d"),
+        codecs=("sz3", "zfp", "szx"),
+        bounds=(1e-1, 1e-3, 1e-5),
+    ) -> list[RoundtripRecord]:
+        """Table III: CR and PSNR grid."""
+        return [
+            self.roundtrip(ds, codec, eps)
+            for ds in datasets
+            for eps in bounds
+            for codec in codecs
+        ]
+
+    def run_io_sweep(
+        self,
+        datasets=("cesm", "hacc", "nyx", "s3d"),
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        io_libraries=("hdf5", "netcdf"),
+        cpu_name: str = "max9480",
+    ) -> list[IOPoint]:
+        """Fig. 11: post-compression write energy plus the original baseline."""
+        out = []
+        for lib in io_libraries:
+            for ds in datasets:
+                out.append(self.io_point(ds, None, None, lib, cpu_name))
+                for codec in codecs:
+                    for eps in bounds:
+                        out.append(self.io_point(ds, codec, eps, lib, cpu_name))
+        return out
+
+    def run_lossless_comparison(
+        self,
+        datasets=("qmcpack", "isabel", "cesm", "exafel"),
+        eblc=("sz2", "zfp"),
+        lossless=("zstd", "blosc", "fpzip", "fpc"),
+        rel_bound: float = 1e-2,
+    ) -> list[RoundtripRecord]:
+        """Fig. 1: lossless vs EBLC ratios."""
+        out = []
+        for ds in datasets:
+            for codec in lossless:
+                out.append(self.roundtrip(ds, codec, 0.0))
+            for codec in eblc:
+                out.append(self.roundtrip(ds, codec, rel_bound))
+        return out
+
+    def run_multinode(
+        self,
+        cores=(16, 32, 64, 128, 256, 512),
+        codecs=("sz2", "sz3", "zfp", "qoz"),
+        dataset: str = "nyx",
+        rel_bound: float = 1e-3,
+        cpu_name: str = "plat8160",
+        io_library: str = "hdf5",
+        payload_nbytes: int | None = None,
+    ) -> list[CampaignResult]:
+        """Fig. 12: N*R ranks compress + write vs the uncompressed baseline.
+
+        The per-rank payload defaults to one NYX field (the snapshot's six
+        fields make a full copy per rank implausible on 192 GB nodes at 48
+        ranks; see EXPERIMENTS.md).
+        """
+        spec = get_dataset(dataset)
+        payload = payload_nbytes or spec.paper_nbytes // 6
+        campaign = MultiNodeCampaign(
+            cpu=get_cpu(cpu_name),
+            pfs=self.pfs,
+            io_library=get_io_library(io_library),
+            payload_nbytes=payload,
+            complexity=spec.complexity,
+            throughput=self.throughput,
+            sample_interval=max(self.sample_interval, 0.02),
+        )
+        out = []
+        for n in cores:
+            out.append(campaign.run(n, None))
+            for codec in codecs:
+                rt = self.roundtrip(dataset, codec, rel_bound)
+                out.append(
+                    campaign.run(n, codec, rel_bound, compression_ratio=rt.ratio)
+                )
+        return out
+
+    def run_inflation(
+        self,
+        factors=(1, 2, 3, 4, 5),
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        dataset: str = "nyx",
+        rel_bound: float = 1e-3,
+        cpu_name: str = "plat8260m",
+        base_scale: str = "test",
+    ) -> list[InflationPoint]:
+        """Fig. 13: serial energy vs inflated NYX sizes.
+
+        The synthetic base is inflated for real (real ratios per factor);
+        energy is modeled at paper scale, where factor f makes the 512^3
+        snapshot grow to (512 f)^3 — the paper's 0.5 ... 62.5 GB x-axis.
+        """
+        spec = get_dataset(dataset)
+        cpu = get_cpu(cpu_name)
+        base = np.array(generate(dataset, base_scale))
+        meter = self._meter(cpu)
+        out = []
+        for f in factors:
+            data = inflate(base, f)
+            for codec in codecs:
+                comp = get_compressor(codec)
+                buf = comp.compress(data, rel_bound)
+                paper_bytes = spec.paper_nbytes * f**3
+                energies = {}
+                for direction in ("compress", "decompress"):
+                    t = self.throughput.runtime(
+                        codec,
+                        direction,
+                        paper_bytes,
+                        rel_bound,
+                        cpu,
+                        threads=1,
+                        complexity=spec.complexity,
+                    )
+                    energies[direction] = meter.measure_compute(t, 1).energy_j
+                out.append(
+                    InflationPoint(
+                        codec=codec,
+                        factor=f,
+                        paper_gb=paper_bytes / 1e9,
+                        ratio=buf.ratio,
+                        compress_energy_j=energies["compress"],
+                        decompress_energy_j=energies["decompress"],
+                    )
+                )
+        return out
+
+    # -- convenience -----------------------------------------------------------
+
+    def measure_compression(
+        self,
+        codec: str,
+        data: np.ndarray,
+        rel_bound: float,
+        cpu_name: str = "plat8160",
+        threads: int = 1,
+    ):
+        """Ad-hoc measurement for user arrays: real compression + modeled energy."""
+        comp = get_compressor(codec)
+        buf = comp.compress(np.ascontiguousarray(data), rel_bound)
+        cpu = get_cpu(cpu_name)
+        t = self.throughput.runtime(
+            codec, "compress", data.nbytes, rel_bound, cpu, threads=threads
+        )
+        report = self._meter(cpu).measure_compute(t, threads)
+        return buf, report

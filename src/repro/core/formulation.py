@@ -1,0 +1,94 @@
+"""Section III formalism: when is lossy compression worth it?
+
+For dataset D, compressor C_j, bound ε and I/O tool I_k the paper declares
+compression beneficial iff all three hold simultaneously:
+
+- Eq. 3 (time):    T_c + T_w(D') < T_w(D)
+- Eq. 4 (energy):  E_c + E_w(D') < E_w(D)
+- Eq. 5 (quality): PSNR(D, D_hat) >= PSNR_min
+
+:class:`BenefitConditions` evaluates the three predicates from measured /
+modeled quantities; :class:`CompressionPlan` names a concrete (codec, ε)
+choice the advisor can recommend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompressionPlan", "BenefitConditions"]
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """A concrete compression decision: which codec at which bound."""
+
+    codec: str
+    rel_bound: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.codec}@{self.rel_bound:.0e}"
+
+
+@dataclass(frozen=True)
+class BenefitConditions:
+    """Evaluated Eq. 3-5 for one (dataset, codec, ε, I/O tool) choice.
+
+    All times in seconds, energies in joules, PSNR in dB.  ``write_*_orig``
+    refer to writing the uncompressed dataset with the same I/O tool.
+    """
+
+    compress_time_s: float
+    write_time_compressed_s: float
+    write_time_orig_s: float
+    compress_energy_j: float
+    write_energy_compressed_j: float
+    write_energy_orig_j: float
+    psnr_db: float
+    psnr_min_db: float
+
+    @property
+    def time_beneficial(self) -> bool:
+        """Eq. 3: compressing then writing beats writing the original."""
+        return (
+            self.compress_time_s + self.write_time_compressed_s
+            < self.write_time_orig_s
+        )
+
+    @property
+    def energy_beneficial(self) -> bool:
+        """Eq. 4: the energy version of Eq. 3."""
+        return (
+            self.compress_energy_j + self.write_energy_compressed_j
+            < self.write_energy_orig_j
+        )
+
+    @property
+    def io_energy_beneficial(self) -> bool:
+        """The weaker condition the paper notes holds almost everywhere:
+        E_w(D') <= E_w(D), ignoring the compression cost itself."""
+        return self.write_energy_compressed_j <= self.write_energy_orig_j
+
+    @property
+    def quality_acceptable(self) -> bool:
+        """Eq. 5: reconstruction meets the application's PSNR floor."""
+        return self.psnr_db >= self.psnr_min_db
+
+    @property
+    def beneficial(self) -> bool:
+        """All three conditions simultaneously (the paper's definition)."""
+        return self.time_beneficial and self.energy_beneficial and self.quality_acceptable
+
+    @property
+    def net_energy_saving_j(self) -> float:
+        """Joules saved versus uncompressed I/O (negative = compression lost)."""
+        return self.write_energy_orig_j - (
+            self.compress_energy_j + self.write_energy_compressed_j
+        )
+
+    @property
+    def net_time_saving_s(self) -> float:
+        """Seconds saved versus uncompressed I/O."""
+        return self.write_time_orig_s - (
+            self.compress_time_s + self.write_time_compressed_s
+        )

@@ -1,0 +1,90 @@
+"""ASCII rendering of tables and figure series for the benchmark harness.
+
+Every bench regenerates a paper artifact as text: tables as aligned columns,
+figures as per-series (x, y) columns — the "same rows/series the paper
+reports" in a form that diffs cleanly and reads in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_stacked_bars", "si"]
+
+
+def si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Human-readable engineering notation (1.23 kJ, 45.6 MB, ...)."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    prefixes = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, "")]
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    return f"{value:.{digits}g} {unit}".strip()
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Aligned fixed-width table with a rule under the header."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    y_format: str = "{:.4g}",
+) -> str:
+    """A figure as columns: x plus one column per named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            row.append(y_format.format(series[name][i]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_stacked_bars(
+    title: str,
+    x_label: str,
+    entries: Sequence[tuple],
+    lower_label: str = "compress",
+    upper_label: str = "decompress",
+    width: int = 40,
+) -> str:
+    """Stacked horizontal bars: entries are (label, lower, upper).
+
+    Mirrors the paper's stacked-bar figures (lighter = lower component,
+    darker = upper) with '#' and '=' fills.
+    """
+    if not entries:
+        return title
+    peak = max(lo + up for _, lo, up in entries) or 1.0
+    lines = [title, f"  [{'#' * 3}] {lower_label}   [{'=' * 3}] {upper_label}"]
+    label_w = max(len(str(e[0])) for e in entries)
+    for label, lo, up in entries:
+        n_lo = int(round(width * lo / peak))
+        n_up = int(round(width * up / peak))
+        bar = "#" * n_lo + "=" * n_up
+        lines.append(
+            f"  {str(label).ljust(label_w)} |{bar.ljust(width)}| "
+            f"{si(lo + up, 'J')} ({si(lo, 'J')} + {si(up, 'J')})"
+        )
+    return "\n".join(lines)

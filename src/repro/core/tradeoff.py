@@ -1,0 +1,97 @@
+"""Grid trade-off analysis: evaluate Eq. 3-5 over (codec, bound) choices.
+
+:class:`TradeoffAnalyzer` runs the testbed over a grid and attaches the
+Section-III benefit conditions to every point, versus the uncompressed
+baseline through the same I/O library.  This is the machinery behind
+Figs. 8/9 (ratio/PSNR vs energy) and behind the advisor's recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiments import Testbed
+from repro.core.formulation import BenefitConditions, CompressionPlan
+
+__all__ = ["TradeoffRecord", "TradeoffAnalyzer"]
+
+
+@dataclass(frozen=True)
+class TradeoffRecord:
+    """One evaluated grid point."""
+
+    dataset: str
+    plan: CompressionPlan
+    io_library: str
+    cpu: str
+    ratio: float
+    psnr_db: float
+    compress_energy_j: float
+    decompress_energy_j: float
+    write_energy_j: float
+    conditions: BenefitConditions
+
+    @property
+    def total_codec_energy_j(self) -> float:
+        """Compression + decompression energy (the Figs. 8/9 y-axis)."""
+        return self.compress_energy_j + self.decompress_energy_j
+
+    @property
+    def pipeline_energy_j(self) -> float:
+        """Compress + write energy (the Eq. 4 left-hand side)."""
+        return self.compress_energy_j + self.write_energy_j
+
+
+class TradeoffAnalyzer:
+    """Evaluate a grid of compression plans for one dataset."""
+
+    def __init__(
+        self,
+        testbed: Testbed | None = None,
+        cpu_name: str = "max9480",
+        io_library: str = "hdf5",
+    ):
+        self.testbed = testbed or Testbed()
+        self.cpu_name = cpu_name
+        self.io_library = io_library
+
+    def evaluate(
+        self,
+        dataset: str,
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        psnr_min_db: float = 60.0,
+    ) -> list[TradeoffRecord]:
+        """Run the grid; every record carries its Eq. 3-5 verdicts."""
+        tb = self.testbed
+        baseline = tb.io_point(dataset, None, None, self.io_library, self.cpu_name)
+        out = []
+        for codec in codecs:
+            for eps in bounds:
+                sp = tb.serial_point(dataset, codec, eps, self.cpu_name)
+                iop = tb.io_point(dataset, codec, eps, self.io_library, self.cpu_name)
+                conditions = BenefitConditions(
+                    compress_time_s=sp.compress_time_s,
+                    write_time_compressed_s=iop.write_time_s,
+                    write_time_orig_s=baseline.write_time_s,
+                    compress_energy_j=sp.compress_energy_j,
+                    write_energy_compressed_j=iop.write_energy_j,
+                    write_energy_orig_j=baseline.write_energy_j,
+                    psnr_db=sp.roundtrip.psnr_db,
+                    psnr_min_db=psnr_min_db,
+                )
+                out.append(
+                    TradeoffRecord(
+                        dataset=dataset,
+                        plan=CompressionPlan(codec, eps),
+                        io_library=self.io_library,
+                        cpu=self.cpu_name,
+                        ratio=sp.roundtrip.ratio,
+                        psnr_db=sp.roundtrip.psnr_db,
+                        compress_energy_j=sp.compress_energy_j,
+                        decompress_energy_j=sp.decompress_energy_j,
+                        write_energy_j=iop.write_energy_j,
+                        conditions=conditions,
+                    )
+                )
+        return out

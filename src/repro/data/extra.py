@@ -1,0 +1,64 @@
+"""Figure-1 datasets: QMCPack, ISABEL, EXAFEL (CESM-ATM reuses :mod:`repro.data.cesm`).
+
+Figure 1 compares lossless vs EBLC ratios on four SDRBench sets.  Each
+generator reproduces the structural trait that determines where its bars
+land:
+
+- **QMCPack** — electronic wavefunction amplitudes: oscillatory but smooth
+  (moderate EBLC ratios, poor lossless);
+- **ISABEL** — Hurricane Isabel pressure field: large-scale vortex + smooth
+  background (high EBLC ratios);
+- **EXAFEL** — LCLS detector images: flat background with Poisson-like
+  photon spikes (the hardest set for every codec).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.fields import gaussian_random_field, rescale
+
+__all__ = ["generate_qmcpack", "generate_isabel", "generate_exafel"]
+
+
+def generate_qmcpack(
+    shape: tuple[int, int, int] = (32, 32, 64), seed: int = 2028
+) -> np.ndarray:
+    """Oscillatory-smooth wavefunction-amplitude-like float32 field."""
+    rng = np.random.default_rng(seed)
+    envelope = gaussian_random_field(shape, beta=3.6, rng=rng)
+    coords = np.meshgrid(*[np.linspace(0, 1, n) for n in shape], indexing="ij")
+    phase = sum((8.0 + 2 * d) * np.pi * c for d, c in enumerate(coords))
+    psi = np.exp(0.8 * envelope) * np.cos(phase + 2.0 * envelope)
+    return psi.astype(np.float32)
+
+
+def generate_isabel(
+    shape: tuple[int, int, int] = (16, 64, 64), seed: int = 2029
+) -> np.ndarray:
+    """Hurricane-pressure-like float32 field: background + vortex core."""
+    rng = np.random.default_rng(seed)
+    z, y, x = np.meshgrid(
+        *[np.linspace(-1, 1, n) for n in shape], indexing="ij"
+    )
+    r2 = (x - 0.1) ** 2 + (y + 0.05) ** 2
+    vortex = -45.0 * np.exp(-r2 / 0.08) * (1.0 - 0.3 * z)
+    background = 15.0 * gaussian_random_field(shape, beta=3.4, rng=rng)
+    field = 1000.0 + vortex + background
+    return field.astype(np.float32)
+
+
+def generate_exafel(
+    shape: tuple[int, int] = (256, 256), seed: int = 2030
+) -> np.ndarray:
+    """Detector-image-like float32 field: flat background + photon spikes."""
+    rng = np.random.default_rng(seed)
+    background = 10.0 + 0.5 * gaussian_random_field(shape, beta=2.5, rng=rng)
+    image = rng.poisson(background).astype(np.float64)
+    # Bragg-peak-like hot spots.
+    n_peaks = 200
+    ij = rng.integers(0, min(shape), size=(n_peaks, 2))
+    image[ij[:, 0] % shape[0], ij[:, 1] % shape[1]] += rng.exponential(
+        500.0, size=n_peaks
+    )
+    return rescale(image, 0.0, 4000.0).astype(np.float32)

@@ -1,0 +1,115 @@
+"""Random-field synthesis primitives for the dataset generators.
+
+Scientific float data compresses the way it does because of its *spectrum*:
+smooth fields (steep spectra) interpolate well, noisy fields do not.  All
+generators are built from three primitives:
+
+- :func:`gaussian_random_field` — FFT spectral synthesis with a power-law
+  spectrum ``P(k) ~ k^-beta``; ``beta`` is the smoothness dial;
+- :func:`tanh_front` — sharp-but-smooth moving interfaces (flame fronts,
+  shock-like features) that stress block predictors;
+- :func:`coherent_walk` — 1-D trajectories with large-scale coherence and a
+  tunable fine-scale noise floor (HACC particle coordinates).
+
+All primitives are deterministic given the NumPy Generator passed in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_random_field", "tanh_front", "coherent_walk", "rescale"]
+
+
+def gaussian_random_field(
+    shape: tuple[int, ...],
+    beta: float,
+    rng: np.random.Generator,
+    anisotropy: tuple[float, ...] | None = None,
+) -> np.ndarray:
+    """Real Gaussian random field with isotropic power spectrum ``k^-beta``.
+
+    ``beta`` around 2 is rough (fractional-Brownian-like), 3.5+ is very
+    smooth.  ``anisotropy`` stretches the wavenumber of each axis (values >1
+    make that axis smoother).  Output is zero-mean, unit-std float64.
+    """
+    if any(n < 1 for n in shape):
+        raise ValueError("all dimensions must be >= 1")
+    freqs = []
+    for d, n in enumerate(shape):
+        f = np.fft.fftfreq(n) * n
+        if anisotropy is not None:
+            f = f / anisotropy[d]
+        freqs.append(f)
+    grids = np.meshgrid(*freqs, indexing="ij")
+    k2 = sum(g * g for g in grids)
+    k2[(0,) * len(shape)] = 1.0  # avoid the DC singularity
+    amplitude = k2 ** (-beta / 4.0)  # P(k) ~ k^-beta => |A| ~ k^(-beta/2)
+    amplitude[(0,) * len(shape)] = 0.0
+    noise = rng.standard_normal(shape)
+    field = np.fft.ifftn(np.fft.fftn(noise) * amplitude).real
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field
+
+
+def tanh_front(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    n_fronts: int = 3,
+    sharpness: float = 12.0,
+) -> np.ndarray:
+    """Superposed smooth interfaces: ``tanh(sharpness * signed distance)``.
+
+    Each front is a plane with a random orientation warped by a smooth
+    displacement field — the structure of combustion/shock data that makes
+    S3D highly compressible away from interfaces yet demanding at them.
+    """
+    coords = np.meshgrid(
+        *[np.linspace(-1.0, 1.0, n) for n in shape], indexing="ij"
+    )
+    field = np.zeros(shape, dtype=np.float64)
+    for _ in range(n_fronts):
+        normal = rng.standard_normal(len(shape))
+        normal /= np.linalg.norm(normal)
+        offset = rng.uniform(-0.5, 0.5)
+        dist = sum(c * w for c, w in zip(coords, normal)) - offset
+        warp = 0.15 * gaussian_random_field(shape, 4.0, rng)
+        field += np.tanh(sharpness * (dist + warp))
+    return field / n_fronts
+
+
+def coherent_walk(
+    n: int,
+    rng: np.random.Generator,
+    coherence: int = 4096,
+    noise_level: float = 1e-4,
+) -> np.ndarray:
+    """1-D coherent trajectory plus a fine noise floor (HACC-like).
+
+    The large-scale component is a smooth random walk (particles ordered by
+    identifier retain spatial locality); ``noise_level`` sets the fine-scale
+    jitter as a fraction of the overall range, which is what decides the
+    error bound at which compressibility collapses (Table III's HACC rows).
+    """
+    n_knots = max(4, n // coherence)
+    knots = np.cumsum(rng.standard_normal(n_knots + 3))
+    x = np.linspace(0, n_knots - 1, n)
+    base = np.interp(x, np.arange(n_knots + 3), knots)
+    rng_span = base.max() - base.min()
+    if rng_span == 0:
+        rng_span = 1.0
+    noise = rng.standard_normal(n) * (noise_level * rng_span)
+    return base + noise
+
+
+def rescale(
+    field: np.ndarray, low: float, high: float
+) -> np.ndarray:
+    """Affinely map a field onto ``[low, high]`` (constant fields -> low)."""
+    fmin = field.min()
+    fmax = field.max()
+    if fmax == fmin:
+        return np.full_like(field, low)
+    return low + (field - fmin) * ((high - low) / (fmax - fmin))

@@ -1,0 +1,35 @@
+"""HACC-like cosmology particle coordinate generator.
+
+The paper's HACC set is a single 280,953,867-element float32 vector
+(1046.9 MB) of particle x-coordinates.  Particles ordered by identifier keep
+spatial locality, so the stream is a coherent trajectory with a fine jitter
+floor.  Table III shows the signature this produces: high ratios at loose
+bounds (the jitter quantizes away: SZ3 CR ≈ 217 at ε = 1e-1) collapsing to
+barely-compressible at tight bounds (CR ≈ 2.7 at 1e-5) — the calibration
+target for ``noise_level``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.fields import coherent_walk, rescale
+
+__all__ = ["generate_hacc"]
+
+
+def generate_hacc(n: int = 1 << 17, seed: int = 2025) -> np.ndarray:
+    """1-D float32 particle-coordinate-like stream of length ``n``."""
+    rng = np.random.default_rng(seed)
+    walk = coherent_walk(n, rng, coherence=max(64, n // 512), noise_level=2e-4)
+    walk = rescale(walk, 0.2, 0.8)
+    # Orbit-scale oscillation: particles sweep a third of the box within a
+    # ~40-element window, so SZx's 128-element blocks are never constant
+    # (its HACC ratios stay low at every bound, as in Table III) while the
+    # sweep remains smooth enough for interpolation to track (SZ3 stays
+    # high at loose bounds).
+    i = np.arange(n, dtype=np.float64)
+    phase_drift = coherent_walk(n, rng, coherence=max(64, n // 256), noise_level=0.0)
+    phase_drift = rescale(phase_drift, 0.0, 2.0 * np.pi)
+    sweep = 0.18 * np.sin(2.0 * np.pi * i / 40.0 + phase_drift)
+    return rescale(walk + sweep, 0.0, 256.0).astype(np.float32)

@@ -1,0 +1,190 @@
+"""Dataset catalogue: Table II metadata plus synthetic generators.
+
+Every entry carries two geometries:
+
+- ``paper_shape`` / ``paper_nbytes`` — the production SDRBench snapshot the
+  paper measured (what the *energy model* scales to);
+- scale presets (``tiny``/``test``/``bench``) — the synthetic sizes actually
+  generated so the pure-Python codecs finish in laptop time while the
+  compression-ratio and quality measurements remain real.
+
+``generate(name, scale)`` memoizes per (name, scale), so benches reuse the
+same arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.data.cesm import generate_cesm
+from repro.data.extra import generate_exafel, generate_isabel, generate_qmcpack
+from repro.data.hacc import generate_hacc
+from repro.data.nyx import generate_nyx
+from repro.data.s3d import generate_s3d
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "get_dataset", "generate"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark dataset: paper metadata plus synthetic scale presets."""
+
+    name: str
+    domain: str
+    paper_shape: tuple[int, ...]
+    dtype: np.dtype
+    #: shape presets for the synthetic generator
+    scales: dict
+    _generator: Callable[..., np.ndarray]
+    #: Per-byte encoding-difficulty multiplier for the throughput model,
+    #: calibrated against Fig. 7's per-dataset joules-per-MB (see DESIGN.md).
+    complexity: float = 1.0
+    #: Fraction of ``paper_nbytes`` the serial/OpenMP profiling experiments
+    #: processed (S3D's Fig. 5/7/8/9 panels use a single field of eleven).
+    profile_fraction: float = 1.0
+
+    @property
+    def paper_nbytes(self) -> int:
+        """Uncompressed size of the paper's snapshot in bytes."""
+        n = 1
+        for d in self.paper_shape:
+            n *= d
+        return n * self.dtype.itemsize
+
+    @property
+    def profile_nbytes(self) -> int:
+        """Bytes processed per (de)compression in the profiling experiments."""
+        return int(self.paper_nbytes * self.profile_fraction)
+
+    @property
+    def paper_mb(self) -> float:
+        """Size in (decimal) MB as Table II reports it."""
+        return self.paper_nbytes / 1e6
+
+    def make(self, scale: str = "bench") -> np.ndarray:
+        """Generate the synthetic array at a named scale."""
+        if scale not in self.scales:
+            raise KeyError(
+                f"dataset {self.name!r} has no scale {scale!r}; "
+                f"available: {sorted(self.scales)}"
+            )
+        shape = self.scales[scale]
+        if self.name == "hacc":
+            return self._generator(n=shape[0])
+        return self._generator(shape=shape)
+
+
+def _spec(
+    name, domain, paper_shape, dtype, scales, gen, complexity=1.0, profile_fraction=1.0
+) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        domain=domain,
+        paper_shape=tuple(paper_shape),
+        dtype=np.dtype(dtype),
+        scales=dict(scales),
+        _generator=gen,
+        complexity=complexity,
+        profile_fraction=profile_fraction,
+    )
+
+
+#: The Table II suite plus the Figure-1 extras.
+DATASETS: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        _spec(
+            "cesm",
+            "climate (CESM-ATM)",
+            (26, 1800, 3600),
+            np.float32,
+            {"tiny": (3, 16, 24), "test": (4, 32, 48), "bench": (6, 64, 128)},
+            generate_cesm,
+            complexity=0.31,
+        ),
+        _spec(
+            "hacc",
+            "cosmology particles (HACC)",
+            (280_953_867,),
+            np.float32,
+            {"tiny": (4096,), "test": (16384,), "bench": (131072,)},
+            generate_hacc,
+            complexity=2.02,
+        ),
+        _spec(
+            "nyx",
+            "cosmology AMR (NYX)",
+            (512, 512, 512),
+            np.float32,
+            {"tiny": (16, 16, 16), "test": (24, 24, 24), "bench": (48, 48, 48)},
+            generate_nyx,
+            complexity=0.48,
+        ),
+        _spec(
+            "s3d",
+            "combustion DNS (S3D)",
+            (11, 500, 500, 500),
+            np.float64,
+            {"tiny": (2, 12, 12, 12), "test": (3, 16, 16, 16), "bench": (4, 32, 32, 32)},
+            generate_s3d,
+            complexity=1.66,
+            profile_fraction=1.0 / 11.0,  # Fig. 5/7/8/9 profile one field
+        ),
+        _spec(
+            "qmcpack",
+            "electronic structure (QMCPack)",
+            (288, 115, 69, 69),
+            np.float32,
+            {"tiny": (8, 12, 16), "test": (16, 16, 32), "bench": (32, 32, 64)},
+            generate_qmcpack,
+        ),
+        _spec(
+            "isabel",
+            "hurricane (ISABEL)",
+            (100, 500, 500),
+            np.float32,
+            {"tiny": (4, 16, 16), "test": (8, 32, 32), "bench": (16, 64, 64)},
+            generate_isabel,
+        ),
+        _spec(
+            "exafel",
+            "LCLS detector (EXAFEL)",
+            (10_000, 512, 512),
+            np.float32,
+            {"tiny": (48, 48), "test": (96, 96), "bench": (256, 256)},
+            generate_exafel,
+        ),
+    ]
+}
+
+#: The four Table-II / main-study datasets, in the paper's column order.
+MAIN_DATASETS = ("cesm", "hacc", "nyx", "s3d")
+#: The Figure-1 comparison sets, in the paper's x-axis order.
+FIG1_DATASETS = ("qmcpack", "isabel", "cesm", "exafel")
+
+
+def dataset_names(main_only: bool = False) -> list[str]:
+    """Names of available datasets (optionally just the Table II four)."""
+    return list(MAIN_DATASETS) if main_only else sorted(DATASETS)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+
+
+@lru_cache(maxsize=32)
+def generate(name: str, scale: str = "bench") -> np.ndarray:
+    """Memoized synthetic generation; arrays are read-only to keep the cache safe."""
+    arr = get_dataset(name).make(scale)
+    arr.setflags(write=False)
+    return arr

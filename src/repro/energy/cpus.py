@@ -1,0 +1,98 @@
+"""CPU catalogue reproducing Table I of the paper.
+
+Each entry carries the published shape of the node (model, cores, TDP) plus
+the calibration parameters of the simulation: per-socket idle power,
+per-core relative speed, and socket count.  Calibration targets the paper's
+qualitative findings:
+
+- the Sapphire Rapids MAX 9480 is the fastest per core but draws the most
+  package power (its serial energies sit between the other two in Fig. 7);
+- the Skylake 8160 node shows the lowest absolute serial energies;
+- the Cascade Lake 8260M node (4-socket Extreme Memory platform) is the
+  slowest per core and idles the most silicon, giving the largest energies
+  (Fig. 7's bottom row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CPUSpec", "CPUS", "get_cpu", "PAPER_CPUS"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A node's CPU configuration and power/performance calibration."""
+
+    name: str
+    model: str
+    codename: str
+    system: str
+    cores: int  # total usable cores on the node
+    sockets: int
+    tdp_w: float  # per-socket TDP as Table I lists it
+    idle_w: float  # per-socket idle (uncore + fabric) power
+    speed: float  # per-core throughput relative to the Skylake 8160
+    ram: str
+    year: int
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores // self.sockets
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.model} ({self.cores} cores, {self.tdp_w:.0f} W TDP)"
+
+
+CPUS: dict[str, CPUSpec] = {
+    "max9480": CPUSpec(
+        name="max9480",
+        model="Intel Xeon CPU MAX 9480",
+        codename="Sapphire Rapids",
+        system="TACC Stampede3",
+        cores=112,
+        sockets=2,
+        tdp_w=350.0,
+        idle_w=130.0,  # HBM2e stacks idle hot
+        speed=1.60,
+        ram="128GB HBM2e",
+        year=2023,
+    ),
+    "plat8160": CPUSpec(
+        name="plat8160",
+        model="Intel Xeon Platinum 8160",
+        codename="Skylake",
+        system="TACC Stampede3",
+        cores=48,
+        sockets=2,
+        tdp_w=270.0,
+        idle_w=55.0,
+        speed=1.0,
+        ram="192GB DDR4",
+        year=2017,
+    ),
+    "plat8260m": CPUSpec(
+        name="plat8260m",
+        model="Intel Xeon Platinum 8260M",
+        codename="Cascade Lake",
+        system="PSC Bridges2 (Extreme Memory)",
+        cores=96,
+        sockets=4,
+        tdp_w=165.0,
+        idle_w=58.0,
+        speed=0.62,
+        ram="4TB DDR4",
+        year=2019,
+    ),
+}
+
+#: Paper presentation order (Fig. 7/10 row order).
+PAPER_CPUS = ("max9480", "plat8160", "plat8260m")
+
+
+def get_cpu(name: str) -> CPUSpec:
+    """Look up a CPU by short name (``max9480``/``plat8160``/``plat8260m``)."""
+    try:
+        return CPUS[name]
+    except KeyError:
+        raise KeyError(f"unknown CPU {name!r}; available: {sorted(CPUS)}") from None

@@ -1,0 +1,100 @@
+"""Front-end energy meter: run workload phases through RAPL/PAPI, get joules.
+
+:class:`EnergyMeter` is what the experiment drivers use: describe a workload
+as :class:`Phase` segments (duration, active cores, CPU activity), and the
+meter plays them through a fresh :class:`~repro.energy.rapl.SimulatedRapl`
+sampled by a :class:`~repro.energy.papi.PapiPowercapMonitor`, returning an
+:class:`EnergyReport` with the discrete-sampled energy the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.cpus import CPUSpec
+from repro.energy.papi import PapiPowercapMonitor
+from repro.energy.power import PowerModel
+from repro.energy.rapl import SimulatedRapl
+
+__all__ = ["Phase", "EnergyReport", "EnergyMeter"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One constant-load workload segment."""
+
+    duration_s: float
+    active_cores: int
+    activity: float = 1.0
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Measured (virtual) runtime, energy, and derived power for a workload."""
+
+    runtime_s: float
+    energy_j: float
+    zone_energies_j: tuple[float, ...]
+    n_samples: int
+
+    @property
+    def avg_power_w(self) -> float:
+        """Mean node power over the workload."""
+        return self.energy_j / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        """Concatenate two measurement windows (e.g. compress + write)."""
+        zones = tuple(
+            a + b for a, b in zip(self.zone_energies_j, other.zone_energies_j)
+        )
+        return EnergyReport(
+            runtime_s=self.runtime_s + other.runtime_s,
+            energy_j=self.energy_j + other.energy_j,
+            zone_energies_j=zones,
+            n_samples=self.n_samples + other.n_samples,
+        )
+
+
+class EnergyMeter:
+    """Plays phases through a simulated RAPL node and reports joules."""
+
+    def __init__(
+        self,
+        cpu: CPUSpec,
+        sample_interval: float = 0.010,
+        alpha: float = 0.85,
+    ):
+        self.cpu = cpu
+        self.sample_interval = sample_interval
+        self.power_model = PowerModel(cpu, alpha=alpha)
+
+    def measure(self, phases: list[Phase]) -> EnergyReport:
+        """Run the phases on a fresh node and return the energy report."""
+        rapl = SimulatedRapl(self.cpu, self.power_model)
+        monitor = PapiPowercapMonitor(rapl, sample_interval=self.sample_interval)
+        before = rapl.read_uj()
+        monitor.start()
+        for ph in phases:
+            monitor.run_phase(ph.duration_s, ph.active_cores, ph.activity)
+        total = monitor.stop()
+        after = rapl.read_uj()
+        zones = tuple(
+            # Per-zone deltas (wrap-aware) for Eq. 6 style reporting.
+            rapl.zones[i].delta(before[i], after[i], rapl.zones[i].max_energy_range_uj)
+            for i in range(len(rapl.zones))
+        )
+        return EnergyReport(
+            runtime_s=monitor.elapsed,
+            energy_j=total,
+            zone_energies_j=zones,
+            n_samples=len(monitor.samples),
+        )
+
+    def measure_compute(
+        self, duration_s: float, threads: int, activity: float = 1.0
+    ) -> EnergyReport:
+        """Single compute phase using ``threads`` cores."""
+        return self.measure(
+            [Phase(duration_s, min(threads, self.cpu.cores), activity, "compute")]
+        )

@@ -1,0 +1,93 @@
+"""Simulated RAPL energy counters (Linux powercap layout).
+
+Real RAPL exposes one monotonically increasing microjoule counter per
+package zone (``intel-rapl:0``, ``intel-rapl:1``, ...) that wraps at
+``max_energy_range_uj``.  The simulation reproduces that contract — counter
+semantics, wrap-around, per-zone naming — over a virtual clock: callers
+advance time with a power level and read counters exactly as a powercap
+client would, which is what the PAPI layer (:mod:`repro.energy.papi`) does.
+"""
+
+from __future__ import annotations
+
+from repro.energy.cpus import CPUSpec
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+
+__all__ = ["RaplZone", "SimulatedRapl"]
+
+#: powercap's typical wrap range (~262 kJ) — kept so wrap handling is honest.
+DEFAULT_MAX_ENERGY_RANGE_UJ = 262_143_328_850
+
+
+class RaplZone:
+    """One package-level energy counter zone."""
+
+    def __init__(self, name: str, max_energy_range_uj: int = DEFAULT_MAX_ENERGY_RANGE_UJ):
+        if max_energy_range_uj <= 0:
+            raise ConfigurationError("max_energy_range_uj must be positive")
+        self.name = name
+        self.max_energy_range_uj = int(max_energy_range_uj)
+        self._energy_uj = 0
+
+    @property
+    def energy_uj(self) -> int:
+        """Current counter value (wraps like the hardware)."""
+        return self._energy_uj
+
+    def deposit(self, joules: float) -> None:
+        """Accumulate energy into the counter (internal, from the clock)."""
+        if joules < 0:
+            raise ConfigurationError("cannot deposit negative energy")
+        self._energy_uj = int(
+            (self._energy_uj + round(joules * 1e6)) % self.max_energy_range_uj
+        )
+
+    @staticmethod
+    def delta(before: int, after: int, max_range: int = DEFAULT_MAX_ENERGY_RANGE_UJ) -> float:
+        """Wrap-aware counter difference in joules."""
+        d = after - before
+        if d < 0:
+            d += max_range
+        return d / 1e6
+
+
+class SimulatedRapl:
+    """A node's RAPL zones plus the virtual clock that drives them.
+
+    Package 0/1/... correspond to CPU sockets; total CPU energy is the sum
+    over zones, exactly the paper's Eq. 6 (E_CPU = E_P0 + E_P1).
+    """
+
+    def __init__(self, cpu: CPUSpec, power_model: PowerModel | None = None):
+        self.cpu = cpu
+        self.power = power_model or PowerModel(cpu)
+        self.zones = [RaplZone(f"intel-rapl:{p}") for p in range(cpu.sockets)]
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float, active_cores: int, activity: float = 1.0) -> None:
+        """Advance the clock ``dt`` seconds with a constant load level."""
+        if dt < 0:
+            raise ConfigurationError("cannot advance time backwards")
+        for p, zone in enumerate(self.zones):
+            watts = self.power.package_power(p, active_cores, activity)
+            zone.deposit(watts * dt)
+        self._now += dt
+
+    def read_uj(self) -> list[int]:
+        """Read every zone counter (the powercap client view)."""
+        return [z.energy_uj for z in self.zones]
+
+    def total_joules_between(self, before: list[int], after: list[int]) -> float:
+        """Sum wrap-aware per-zone deltas — Eq. 6 over a measurement window."""
+        if len(before) != len(self.zones) or len(after) != len(self.zones):
+            raise ConfigurationError("counter snapshot length mismatch")
+        return sum(
+            RaplZone.delta(b, a, z.max_energy_range_uj)
+            for b, a, z in zip(before, after, self.zones)
+        )

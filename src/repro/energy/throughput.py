@@ -1,0 +1,141 @@
+"""Calibrated codec performance model for the virtual testbed.
+
+Our pure-Python codecs produce *real* compressed bytes, ratios and PSNR, but
+their wall-clock time says nothing about the C implementations the paper
+profiles.  This model supplies the runtimes the energy stack integrates,
+from four mechanisms — each calibrated against a paper-reported quantity
+(all constants below; EXPERIMENTS.md records the resulting fits):
+
+1. **Base throughput** (MB/s per core at ε = 1e-3 on the Skylake 8160):
+   magnitudes from the compressors' publications — SZx is ~an order of
+   magnitude faster than the SZ family, ZFP in between.
+2. **Error-bound slowdown**: runtime grows as ε tightens; the per-codec
+   slope is set so the serial energy ratio E(1e-5)/E(1e-1) reproduces the
+   paper's Section V-C factors (SZx 2.1x ... SZ3 7.2x).
+3. **Per-invocation overhead**: a fixed setup cost that makes small datasets
+   disproportionately expensive — calibrated to the paper's S3D:CESM energy
+   ratios at 1e-3 (8.3x for SZx vs 14.2x for SZ2 against a 15.6x size gap).
+4. **Strong scaling** (Universal Scalability Law): per-codec contention
+   (sigma) and coherence (kappa) reproduce Fig. 10 — SZx gains ~6x energy at
+   64 threads, SZ3 scales well, SZ2 and ZFP effectively do not scale.
+
+CPU generation enters through :attr:`~repro.energy.cpus.CPUSpec.speed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.cpus import CPUSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["CodecPerf", "ThroughputModel", "CODEC_PERF"]
+
+
+@dataclass(frozen=True)
+class CodecPerf:
+    """Performance calibration of one codec (see module docstring)."""
+
+    compress_mbps: float  # per core, eps = 1e-3, Skylake 8160
+    decompress_mbps: float
+    eps_slope: float  # slowdown slope per decade of tightening below 1e-1
+    overhead_s: float  # per-invocation fixed cost (speed-1.0 CPU)
+    usl_sigma: float  # USL contention
+    usl_kappa: float  # USL coherence
+
+    def energy_growth_1e1_to_1e5(self) -> float:
+        """Modeled runtime (= energy at fixed power) ratio ε=1e-5 vs 1e-1."""
+        return (1.0 + 4.0 * self.eps_slope) / 1.0
+
+
+#: Calibration table.  eps_slope targets (paper Section V-C): SZx 2.1x,
+#: ZFP ~3x, SZ2 ~5x, QoZ ~6.5x, SZ3 7.2x energy growth from 1e-1 to 1e-5.
+#: Overheads are kept small relative to the paper-scale workloads so the
+#: Fig. 13 near-linear byte scaling holds; the residual consequence is that
+#: the S3D:CESM energy-ratio *ordering* across codecs (paper: SZx 8.3x low,
+#: SZ2 14.2x high) is not reproduced by this scalar model (EXPERIMENTS.md).
+CODEC_PERF: dict[str, CodecPerf] = {
+    "sz2": CodecPerf(55.0, 95.0, 1.000, 0.10, 0.850, 0.0020),
+    "sz3": CodecPerf(50.0, 85.0, 1.550, 0.12, 0.050, 0.0010),
+    "qoz": CodecPerf(42.0, 70.0, 1.375, 0.30, 0.060, 0.0012),
+    "zfp": CodecPerf(260.0, 330.0, 0.500, 0.05, 0.950, 0.0020),
+    "szx": CodecPerf(650.0, 900.0, 0.275, 0.15, 0.030, 0.0005),
+    # Lossless baselines (Fig. 1 only; no eps axis).
+    "zstd": CodecPerf(450.0, 1200.0, 0.0, 0.10, 0.10, 0.001),
+    "blosc": CodecPerf(900.0, 1800.0, 0.0, 0.05, 0.05, 0.0005),
+    "fpzip": CodecPerf(120.0, 150.0, 0.0, 0.20, 0.40, 0.002),
+    "fpc": CodecPerf(500.0, 700.0, 0.0, 0.10, 0.30, 0.002),
+}
+
+
+class ThroughputModel:
+    """Runtime model: ``runtime(codec, direction, nbytes, eps, cpu, threads)``."""
+
+    def __init__(self, table: dict[str, CodecPerf] | None = None):
+        self.table = dict(CODEC_PERF if table is None else table)
+
+    def perf(self, codec: str) -> CodecPerf:
+        try:
+            return self.table[codec]
+        except KeyError:
+            raise ConfigurationError(
+                f"no performance calibration for codec {codec!r}"
+            ) from None
+
+    # -- model components ---------------------------------------------------
+
+    def eps_slowdown(self, codec: str, rel_bound: float) -> float:
+        """Runtime multiplier vs the ε = 1e-3 baseline (1.0 at 1e-3)."""
+        perf = self.perf(codec)
+        if perf.eps_slope == 0.0 or rel_bound <= 0:
+            return 1.0
+        import math
+
+        decades = max(0.0, -math.log10(rel_bound) - 1.0)  # 0 at 1e-1
+        raw = 1.0 + perf.eps_slope * decades
+        baseline = 1.0 + perf.eps_slope * 2.0  # value at 1e-3
+        return raw / baseline
+
+    def speedup(self, codec: str, threads: int, cpu: CPUSpec) -> float:
+        """USL strong-scaling speedup, capped by physical cores."""
+        if threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        perf = self.perf(codec)
+        p = min(threads, cpu.cores)
+        return p / (1.0 + perf.usl_sigma * (p - 1) + perf.usl_kappa * p * (p - 1))
+
+    def runtime(
+        self,
+        codec: str,
+        direction: str,
+        nbytes: int,
+        rel_bound: float,
+        cpu: CPUSpec,
+        threads: int = 1,
+        complexity: float = 1.0,
+    ) -> float:
+        """Modeled seconds for one (de)compression invocation.
+
+        ``complexity`` is the dataset's per-byte difficulty multiplier
+        (entropy-heavy streams like HACC's jittery 1-D coordinates encode
+        several times slower per byte than smooth doubles like S3D); the
+        calibrated values live on :class:`repro.data.registry.DatasetSpec`.
+        """
+        perf = self.perf(codec)
+        if direction == "compress":
+            mbps = perf.compress_mbps
+        elif direction == "decompress":
+            mbps = perf.decompress_mbps
+        else:
+            raise ConfigurationError(
+                f"direction must be compress/decompress, not {direction!r}"
+            )
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        base = (nbytes / 1e6) / (mbps * cpu.speed)
+        base *= self.eps_slowdown(codec, rel_bound) * complexity
+        # The per-invocation overhead (allocation, first-touch, setup scans)
+        # is memory-parallel work, so it scales with the codec's speedup
+        # just like the stream itself.
+        total = base + perf.overhead_s / cpu.speed
+        return total / self.speedup(codec, threads, cpu)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate the failure domain (compression, I/O, simulation,
+configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CompressionError(ReproError):
+    """A compressor failed to produce or parse a compressed stream."""
+
+
+class DecompressionError(CompressionError):
+    """A compressed stream is malformed, truncated, or of the wrong codec."""
+
+
+class ErrorBoundViolation(CompressionError):
+    """Reconstruction violated the requested error bound.
+
+    This is raised by verification helpers, never silently ignored: the
+    value-range relative bound is the contract every EBLC in this package
+    guarantees (paper Eq. 1 with footnote-1 semantics).
+    """
+
+    def __init__(self, max_error: float, bound: float, message: str | None = None):
+        self.max_error = float(max_error)
+        self.bound = float(bound)
+        super().__init__(
+            message
+            or f"error bound violated: max abs error {max_error:.6g} > bound {bound:.6g}"
+        )
+
+
+class IOModelError(ReproError):
+    """Invalid I/O-stack configuration or malformed container file."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event cluster simulation reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model was configured with invalid parameters."""

@@ -1,0 +1,30 @@
+"""I/O stack: container formats (HDF5-like, NetCDF-like) over a PFS model.
+
+Section IV-D writes compressed and uncompressed data with HDF5 and NetCDF to
+a Lustre parallel file system.  This subpackage provides:
+
+- real, byte-level container formats with write/read roundtrips
+  (:mod:`repro.iolib.hdf5_like`, :mod:`repro.iolib.netcdf_like`) whose
+  structural differences (little-endian contiguous layout vs big-endian
+  classic layout with full-header rewrites) justify their differing cost
+  models;
+- a Lustre-like parallel-file-system model (:mod:`repro.iolib.pfs`) with
+  OSTs, striping, per-client caps and fair-share aggregate contention;
+- the storage-device catalogue used by the Section-VII extrapolation
+  (:mod:`repro.iolib.devices`).
+"""
+
+from repro.iolib.base import IOLibrary, WriteCostModel, get_io_library
+from repro.iolib.hdf5_like import HDF5Like
+from repro.iolib.netcdf_like import NetCDFLike
+from repro.iolib.pfs import PFSModel, fair_share_schedule
+
+__all__ = [
+    "IOLibrary",
+    "WriteCostModel",
+    "get_io_library",
+    "HDF5Like",
+    "NetCDFLike",
+    "PFSModel",
+    "fair_share_schedule",
+]

@@ -1,0 +1,62 @@
+"""Storage device catalogue for the Section-VII extrapolation.
+
+The discussion cites McAllister et al. (HotCarbon '24): embodied emissions
+are ~80% of total rack emissions for SSD racks and ~41% for HDD racks.  The
+catalogue provides capacity/power/embodied-carbon figures for representative
+devices so :mod:`repro.core.extrapolation` can translate compression ratios
+into device counts and embodied-carbon savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StorageDevice", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """One storage device model used for capacity planning."""
+
+    name: str
+    kind: str  # "hdd" | "ssd"
+    capacity_tb: float
+    write_bw_mbps: float
+    active_power_w: float
+    idle_power_w: float
+    embodied_kgco2: float  # manufacturing footprint per device
+    #: Fraction of a storage rack's lifetime emissions that are embodied
+    #: (McAllister et al.: ~0.80 for SSD racks, ~0.41 for HDD racks).
+    rack_embodied_fraction: float
+
+
+DEVICES: dict[str, StorageDevice] = {
+    "hdd-18tb": StorageDevice(
+        name="hdd-18tb",
+        kind="hdd",
+        capacity_tb=18.0,
+        write_bw_mbps=250.0,
+        active_power_w=9.5,
+        idle_power_w=5.5,
+        embodied_kgco2=30.0,
+        rack_embodied_fraction=0.41,
+    ),
+    "ssd-15tb": StorageDevice(
+        name="ssd-15tb",
+        kind="ssd",
+        capacity_tb=15.36,
+        write_bw_mbps=3000.0,
+        active_power_w=14.0,
+        idle_power_w=5.0,
+        embodied_kgco2=160.0,
+        rack_embodied_fraction=0.80,
+    ),
+}
+
+
+def get_device(name: str) -> StorageDevice:
+    """Look up a storage device by name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICES)}") from None

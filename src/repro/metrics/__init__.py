@@ -1,0 +1,27 @@
+"""Quality, error, ratio and statistics metrics used throughout the study."""
+
+from repro.metrics.error import (
+    check_error_bound,
+    max_abs_error,
+    max_rel_error,
+    value_range,
+)
+from repro.metrics.quality import autocorrelation, mse, nrmse, psnr
+from repro.metrics.ratio import bitrate, compression_ratio
+from repro.metrics.stats import AdaptiveRepeater, MeasurementSummary, mean_ci
+
+__all__ = [
+    "check_error_bound",
+    "max_abs_error",
+    "max_rel_error",
+    "value_range",
+    "autocorrelation",
+    "mse",
+    "nrmse",
+    "psnr",
+    "bitrate",
+    "compression_ratio",
+    "AdaptiveRepeater",
+    "MeasurementSummary",
+    "mean_ci",
+]

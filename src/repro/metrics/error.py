@@ -1,0 +1,60 @@
+"""Pointwise error metrics and the error-bound contract check (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ErrorBoundViolation
+
+__all__ = ["value_range", "max_abs_error", "max_rel_error", "check_error_bound"]
+
+
+def value_range(original: np.ndarray) -> float:
+    """``max(D) - min(D)``, the denominator of the value-range relative bound."""
+    original = np.asarray(original)
+    return float(original.max() - original.min())
+
+
+def max_abs_error(original: np.ndarray, recon: np.ndarray) -> float:
+    """Largest absolute pointwise deviation."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(recon, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).max())
+
+
+def max_rel_error(original: np.ndarray, recon: np.ndarray) -> float:
+    """Largest pointwise error relative to the value range (Eq. 1 semantics).
+
+    Returns ``inf`` only if the range is zero while the error is not, which
+    no conforming codec can produce.
+    """
+    rng = value_range(original)
+    err = max_abs_error(original, recon)
+    if rng == 0.0:
+        return 0.0 if err == 0.0 else float("inf")
+    return err / rng
+
+
+def check_error_bound(
+    original: np.ndarray,
+    recon: np.ndarray,
+    rel_bound: float,
+    *,
+    slack: float = 1e-9,
+    raise_on_violation: bool = True,
+) -> float:
+    """Verify the value-range relative bound; returns the max abs error.
+
+    ``slack`` absorbs the half-ulp of casting reconstructions back to the
+    original dtype (float32 outputs round once more after the float64
+    arithmetic the codecs guarantee the bound in).
+    """
+    rng = value_range(original)
+    bound = rel_bound * rng
+    err = max_abs_error(original, recon)
+    limit = bound * (1.0 + 1e-9) + slack * max(rng, 1.0)
+    if err > limit and raise_on_violation:
+        raise ErrorBoundViolation(err, bound)
+    return err

@@ -1,0 +1,60 @@
+"""Reconstruction quality metrics: MSE, NRMSE, PSNR (paper Eq. 2), autocorrelation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "nrmse", "psnr", "autocorrelation"]
+
+
+def mse(original: np.ndarray, recon: np.ndarray) -> float:
+    """Mean squared error."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(recon, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    d = a - b
+    return float(np.mean(d * d))
+
+
+def nrmse(original: np.ndarray, recon: np.ndarray) -> float:
+    """Root mean squared error normalized by the value range."""
+    a = np.asarray(original, dtype=np.float64)
+    rng = float(a.max() - a.min())
+    if rng == 0.0:
+        return 0.0 if mse(original, recon) == 0.0 else float("inf")
+    return float(np.sqrt(mse(original, recon)) / rng)
+
+
+def psnr(original: np.ndarray, recon: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB, exactly the paper's Eq. 2.
+
+    ``PSNR = 20 log10( max(D) / sqrt(MSE) )`` — note the paper normalizes by
+    the data *maximum* (SDRBench convention uses the range; we follow the
+    equation as printed).  A perfect reconstruction returns ``inf``.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    err = mse(original, recon)
+    if err == 0.0:
+        return float("inf")
+    peak = float(np.abs(a).max())
+    if peak == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(peak / np.sqrt(err)))
+
+
+def autocorrelation(original: np.ndarray, recon: np.ndarray, lag: int = 1) -> float:
+    """Lag-``lag`` autocorrelation of the pointwise error field.
+
+    QoZ optimizes this to keep compression artifacts noise-like; values near
+    zero mean uncorrelated (benign) errors.
+    """
+    e = (np.asarray(original, dtype=np.float64) - np.asarray(recon, dtype=np.float64)).ravel()
+    if e.size <= lag:
+        return 0.0
+    e = e - e.mean()
+    denom = float(np.dot(e, e))
+    if denom == 0.0:
+        return 0.0
+    num = float(np.dot(e[:-lag], e[lag:]))
+    return num / denom

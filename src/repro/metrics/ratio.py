@@ -1,0 +1,22 @@
+"""Compression ratio and bitrate accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_ratio", "bitrate"]
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """``original / compressed`` bytes; the paper's CR columns."""
+    if compressed_nbytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_nbytes / compressed_nbytes
+
+
+def bitrate(original: np.ndarray, compressed_nbytes: int) -> float:
+    """Compressed bits per element of the original array."""
+    n = int(np.asarray(original).size)
+    if n == 0:
+        raise ValueError("original array is empty")
+    return 8.0 * compressed_nbytes / n

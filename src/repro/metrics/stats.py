@@ -1,0 +1,110 @@
+"""Measurement statistics implementing the paper's repetition protocol.
+
+Section IV-C: *"we conduct up to twenty-five runs of each compression and
+decompression, or until achieving a 95% confidence interval about the mean of
+the recorded energy."*  :class:`AdaptiveRepeater` reproduces exactly that
+loop; :func:`mean_ci` provides the Student-t interval it relies on.
+
+The t quantiles are tabulated (two-sided 95 %) so the package needs no SciPy
+at runtime; SciPy, when present, is used only in tests to validate the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["mean_ci", "MeasurementSummary", "AdaptiveRepeater"]
+
+# Two-sided 95% Student-t critical values for df = 1..30 (then ~normal).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.960
+
+
+def mean_ci(samples: np.ndarray, confidence: float = 0.95) -> tuple[float, float]:
+    """Sample mean and 95 % CI half-width (0 half-width for n < 2)."""
+    if confidence != 0.95:
+        raise ValueError("only the paper's 95% level is tabulated")
+    x = np.asarray(samples, dtype=np.float64)
+    n = x.size
+    if n == 0:
+        raise ValueError("no samples")
+    mean = float(x.mean())
+    if n < 2:
+        return mean, 0.0
+    sem = float(x.std(ddof=1) / np.sqrt(n))
+    return mean, t_critical_95(n - 1) * sem
+
+
+@dataclass(frozen=True)
+class MeasurementSummary:
+    """Result of an adaptive measurement campaign."""
+
+    mean: float
+    ci_halfwidth: float
+    n_runs: int
+    samples: tuple[float, ...]
+
+    @property
+    def rel_ci(self) -> float:
+        """CI half-width relative to the mean (0 for a zero mean)."""
+        return self.ci_halfwidth / self.mean if self.mean else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.6g} ± {self.ci_halfwidth:.3g} (n={self.n_runs})"
+
+
+class AdaptiveRepeater:
+    """Repeat a measurement until the 95 % CI tightens or the cap is hit.
+
+    Parameters
+    ----------
+    max_runs:
+        The paper's cap of 25 repetitions.
+    rel_tolerance:
+        Stop once the CI half-width falls below this fraction of the mean.
+    min_runs:
+        Always take at least this many samples (a CI needs >= 2).
+    """
+
+    def __init__(
+        self,
+        max_runs: int = 25,
+        rel_tolerance: float = 0.05,
+        min_runs: int = 3,
+    ):
+        if max_runs < 1:
+            raise ValueError("max_runs must be >= 1")
+        if min_runs < 1 or min_runs > max_runs:
+            raise ValueError("need 1 <= min_runs <= max_runs")
+        self.max_runs = max_runs
+        self.rel_tolerance = rel_tolerance
+        self.min_runs = min_runs
+
+    def run(self, measure: Callable[[], float]) -> MeasurementSummary:
+        """Call ``measure`` repeatedly per the protocol and summarize."""
+        samples: list[float] = []
+        while len(samples) < self.max_runs:
+            samples.append(float(measure()))
+            if len(samples) >= max(self.min_runs, 2):
+                mean, hw = mean_ci(np.array(samples))
+                if mean == 0.0 or hw <= self.rel_tolerance * abs(mean):
+                    break
+        mean, hw = mean_ci(np.array(samples))
+        return MeasurementSummary(
+            mean=mean, ci_halfwidth=hw, n_runs=len(samples), samples=tuple(samples)
+        )

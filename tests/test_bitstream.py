@@ -1,0 +1,133 @@
+"""Bit-level I/O: vectorized packing and sequential reader/writer agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.bitstream import BitReader, BitWriter, pack_bits, unpack_bits
+from repro.errors import DecompressionError
+
+
+class TestPackBits:
+    def test_roundtrip_simple(self):
+        values = np.array([5, 0, 255, 1], dtype=np.uint64)
+        widths = np.array([3, 1, 8, 2])
+        out = unpack_bits(pack_bits(values, widths), widths)
+        np.testing.assert_array_equal(out, values)
+
+    def test_empty(self):
+        assert pack_bits(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=int)) == b""
+        assert unpack_bits(b"", np.zeros(0, dtype=int)).size == 0
+
+    def test_zero_widths_contribute_nothing(self):
+        values = np.array([7, 3, 7], dtype=np.uint64)
+        widths = np.array([3, 0, 3])
+        packed = pack_bits(values, widths)
+        assert len(packed) == 1  # 6 bits -> 1 byte
+        out = unpack_bits(packed, widths)
+        np.testing.assert_array_equal(out, [7, 0, 7])
+
+    def test_width_64(self):
+        values = np.array([2**64 - 1, 0, 2**63], dtype=np.uint64)
+        widths = np.array([64, 64, 64])
+        out = unpack_bits(pack_bits(values, widths), widths)
+        np.testing.assert_array_equal(out, values)
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1], dtype=np.uint64), np.array([65]))
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1], dtype=np.uint64), np.array([-1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1, 2], dtype=np.uint64), np.array([3]))
+
+    def test_truncated_stream_raises(self):
+        packed = pack_bits(np.array([1] * 10, dtype=np.uint64), np.full(10, 7))
+        with pytest.raises(DecompressionError):
+            unpack_bits(packed[:-1], np.full(10, 7))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(1, 33)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_roundtrip_property(self, pairs):
+        widths = np.array([w for _, w in pairs], dtype=np.int64)
+        values = np.array(
+            [v & ((1 << w) - 1) for v, w in pairs], dtype=np.uint64
+        )
+        out = unpack_bits(pack_bits(values, widths), widths)
+        np.testing.assert_array_equal(out, values)
+
+
+class TestBitWriterReader:
+    def test_single_bits(self):
+        w = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for b in bits:
+            w.write_bit(b)
+        r = BitReader(w.getvalue())
+        assert [r.read_bit() for _ in range(len(bits))] == bits
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bits(0b01, 2)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(4) == 0b1011
+        assert r.read_bits(2) == 0b01
+
+    def test_interop_with_pack_bits(self):
+        """Sequential writer output parses with the vectorized unpacker."""
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits(0b11110000, 8)
+        out = unpack_bits(w.getvalue(), np.array([3, 8]))
+        np.testing.assert_array_equal(out, [0b101, 0b11110000])
+
+    def test_bit_length_tracks(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        w.write_bit(1)
+        assert w.bit_length == 1
+        w.write_bits(0, 13)
+        assert w.bit_length == 14
+
+    def test_eof_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(DecompressionError):
+            r.read_bit()
+
+    def test_seek(self):
+        w = BitWriter()
+        w.write_bits(0b10110011, 8)
+        r = BitReader(w.getvalue())
+        r.read_bits(5)
+        r.seek_bit(2)
+        assert r.read_bits(3) == 0b110
+
+    def test_large_width_values(self):
+        w = BitWriter()
+        w.write_bits((1 << 50) - 3, 50)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(50) == (1 << 50) - 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(1, 21)), max_size=80))
+    def test_writer_reader_property(self, pairs):
+        w = BitWriter()
+        expected = []
+        for v, width in pairs:
+            v &= (1 << width) - 1
+            w.write_bits(v, width)
+            expected.append((v, width))
+        r = BitReader(w.getvalue())
+        for v, width in expected:
+            assert r.read_bits(width) == v

@@ -1,0 +1,68 @@
+"""Blocking helpers: pad/split/reassemble roundtrips in every rank."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.blocks import blockify, padded_shape, unblockify
+
+
+class TestPaddedShape:
+    def test_exact_multiple(self):
+        assert padded_shape((12, 8), (6, 4)) == (12, 8)
+
+    def test_rounds_up(self):
+        assert padded_shape((13, 9), (6, 4)) == (18, 12)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            padded_shape((4, 4), (2,))
+
+
+class TestBlockifyRoundtrip:
+    @pytest.mark.parametrize(
+        "shape,block",
+        [
+            ((100,), (16,)),
+            ((17,), (16,)),
+            ((12, 12), (4, 4)),
+            ((13, 7), (4, 4)),
+            ((9, 10, 11), (4, 4, 4)),
+            ((6, 6, 6), (6, 6, 6)),
+            ((2, 5, 6, 7), (1, 4, 4, 4)),
+        ],
+    )
+    def test_roundtrip(self, shape, block, rng):
+        arr = rng.standard_normal(shape)
+        blocks = blockify(arr, block)
+        assert blocks.shape[1:] == block
+        out = unblockify(blocks, shape, block)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_block_count(self):
+        arr = np.zeros((8, 8, 8))
+        blocks = blockify(arr, (4, 4, 4))
+        assert blocks.shape == (8, 4, 4, 4)
+
+    def test_edge_padding_replicates(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        blocks = blockify(arr, (4,))
+        assert blocks.shape == (1, 4)
+        assert blocks[0, 3] == 3.0  # replicated edge
+
+    def test_blocks_are_contiguous_tiles(self):
+        arr = np.arange(16, dtype=float).reshape(4, 4)
+        blocks = blockify(arr, (2, 2))
+        np.testing.assert_array_equal(blocks[0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(blocks[3], [[10, 11], [14, 15]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.tuples(st.integers(1, 20), st.integers(1, 20)),
+        st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    )
+    def test_roundtrip_property_2d(self, shape, block):
+        arr = np.arange(np.prod(shape), dtype=float).reshape(shape)
+        out = unblockify(blockify(arr, block), shape, block)
+        np.testing.assert_array_equal(out, arr)

@@ -1,0 +1,114 @@
+"""CLI: every subcommand end-to-end through files and captured stdout."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def field_file(tmp_path, rng):
+    path = tmp_path / "field.npy"
+    x = np.linspace(0, 1, 32)
+    data = (np.sin(6 * x)[:, None] * np.cos(4 * x)[None, :]).astype(np.float32)
+    data += 0.01 * rng.standard_normal(data.shape).astype(np.float32)
+    np.save(path, data)
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_roundtrip_through_files(self, tmp_path, field_file, capsys):
+        path, data = field_file
+        packed = tmp_path / "field.rpz"
+        recon_path = tmp_path / "recon.npy"
+        assert (
+            main(["compress", str(path), str(packed), "--codec", "sz3", "--rel-bound", "1e-3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sz3" in out and "x," in out.replace("x ", "x,")  # ratio printed
+        assert main(["decompress", str(packed), str(recon_path)]) == 0
+        recon = np.load(recon_path)
+        rng_span = float(data.max() - data.min())
+        assert np.abs(recon - data).max() <= 1e-3 * rng_span * (1 + 1e-6)
+
+    def test_lossless_codec(self, tmp_path, field_file, capsys):
+        path, data = field_file
+        packed = tmp_path / "f.rpz"
+        recon = tmp_path / "r.npy"
+        assert main(["compress", str(path), str(packed), "--codec", "fpzip"]) == 0
+        assert main(["decompress", str(packed), str(recon)]) == 0
+        np.testing.assert_array_equal(np.load(recon), data)
+
+    def test_inspect(self, tmp_path, field_file, capsys):
+        path, _ = field_file
+        packed = tmp_path / "f.rpz"
+        main(["compress", str(path), str(packed), "--codec", "szx"])
+        capsys.readouterr()
+        assert main(["inspect", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "szx" in out and "ratio" in out and "32x32" in out
+
+
+class TestListing:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cesm", "hacc", "nyx", "s3d"):
+            assert name in out
+
+    def test_cpus(self, capsys):
+        assert main(["cpus"]) == 0
+        out = capsys.readouterr().out
+        assert "Sapphire Rapids" in out and "350 W" in out
+
+    def test_codecs(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        assert "sz3" in out and "lossless" in out
+
+
+class TestAdvise:
+    def test_advise_netcdf_recommends(self, capsys):
+        rc = main(
+            [
+                "advise",
+                "--dataset",
+                "s3d",
+                "--psnr-min",
+                "40",
+                "--io",
+                "netcdf",
+                "--scale",
+                "tiny",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert "PSNR" in out or "uncompressed" in out
+
+    def test_advise_strict_usually_refuses(self, capsys):
+        rc = main(
+            [
+                "advise",
+                "--dataset",
+                "nyx",
+                "--psnr-min",
+                "150",
+                "--scale",
+                "tiny",
+                "--strict-time",
+            ]
+        )
+        assert rc == 1
+        assert "uncompressed" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "a", "b", "--codec", "nope"])

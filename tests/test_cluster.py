@@ -1,0 +1,190 @@
+"""Cluster simulation: event loop determinism, ranks, campaign physics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import EventLoop, MultiNodeCampaign, NodeModel, SimComm
+from repro.energy import get_cpu
+from repro.errors import ConfigurationError, SimulationError
+from repro.iolib import PFSModel, get_io_library
+
+
+class TestEventLoop:
+    def test_delays_advance_time(self):
+        loop = EventLoop()
+        trace = []
+
+        def proc():
+            trace.append(loop.now)
+            yield 1.5
+            trace.append(loop.now)
+            yield 0.5
+            trace.append(loop.now)
+
+        loop.spawn(proc())
+        loop.run()
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_events_synchronize(self):
+        loop = EventLoop()
+        evt = loop.event("go")
+        order = []
+
+        def waiter():
+            yield evt
+            order.append(("w", loop.now))
+
+        def firer():
+            yield 3.0
+            evt.fire()
+            order.append(("f", loop.now))
+
+        loop.spawn(waiter())
+        loop.spawn(firer())
+        loop.run()
+        assert ("w", 3.0) in order and ("f", 3.0) in order
+
+    def test_deterministic_tie_break(self):
+        results = []
+        for _ in range(3):
+            loop = EventLoop()
+            seq = []
+
+            def make(name):
+                def proc():
+                    yield 1.0
+                    seq.append(name)
+
+                return proc
+
+            for n in ("a", "b", "c"):
+                loop.spawn(make(n)())
+            loop.run()
+            results.append(tuple(seq))
+        assert len(set(results)) == 1
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+
+        def bad():
+            yield -1.0
+
+        loop.spawn(bad())
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    def test_run_until(self):
+        loop = EventLoop()
+
+        def proc():
+            yield 10.0
+
+        loop.spawn(proc())
+        t = loop.run(until=5.0)
+        assert t == 5.0
+
+
+class TestSimComm:
+    def test_barrier_releases_all_at_last_arrival(self):
+        loop = EventLoop()
+        comm = SimComm(loop, 4)
+        release = {}
+
+        def body(rank, comm):
+            yield rank * 1.0  # staggered arrivals
+            yield comm.barrier()
+            release[rank] = loop.now
+
+        comm.run_ranks(body)
+        assert all(t == pytest.approx(3.0) for t in release.values())
+
+    def test_finish_times_reported(self):
+        loop = EventLoop()
+        comm = SimComm(loop, 3)
+
+        def body(rank, comm):
+            yield (rank + 1) * 2.0
+
+        times = comm.run_ranks(body)
+        assert times == {0: 2.0, 1: 4.0, 2: 6.0}
+
+    def test_size_validation(self):
+        with pytest.raises(SimulationError):
+            SimComm(EventLoop(), 0)
+
+
+class TestNodeModel:
+    def test_labelled_energy_split(self):
+        node = NodeModel(get_cpu("plat8160"))
+        node.add_phase(1.0, 48, 1.0, "compress")
+        node.add_phase(2.0, 0, 1.0, "write")
+        energy = node.measure()
+        assert energy.by_label["compress"] == pytest.approx(540.0, rel=1e-6)
+        assert energy.by_label["write"] == pytest.approx(220.0, rel=1e-6)
+        assert energy.total_j == pytest.approx(760.0, rel=1e-6)
+        assert energy.runtime_s == pytest.approx(3.0)
+
+    def test_zero_duration_skipped(self):
+        node = NodeModel(get_cpu("plat8160"))
+        node.add_phase(0.0, 4, 1.0, "x")
+        assert node.measure().total_j == 0.0
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return MultiNodeCampaign(
+            cpu=get_cpu("plat8160"),
+            pfs=PFSModel(),
+            io_library=get_io_library("hdf5"),
+            payload_nbytes=90 * 10**6,
+            complexity=0.48,
+        )
+
+    def test_weak_scaling_energy_grows_with_cores(self, campaign):
+        e = [
+            campaign.run(c, "sz3", 1e-3, compression_ratio=20.0).total_energy_j
+            for c in (16, 64, 256)
+        ]
+        assert e[0] < e[1] < e[2]
+
+    def test_uncompressed_baseline_jumps_under_contention(self, campaign):
+        results = {c: campaign.run(c, None) for c in (64, 256, 512)}
+        t64 = results[64].write_time_s
+        t512 = results[512].write_time_s
+        assert t512 > 4 * t64  # saturation: time grows superlinearly in load
+
+    def test_compression_wins_at_scale_not_small(self, campaign):
+        """The Fig. 12 crossover: EBLC beats original at 512 cores only."""
+        small_orig = campaign.run(16, None).total_energy_j
+        small_sz3 = campaign.run(16, "sz3", 1e-3, 20.0).total_energy_j
+        big_orig = campaign.run(512, None).total_energy_j
+        big_sz3 = campaign.run(512, "sz3", 1e-3, 20.0).total_energy_j
+        assert small_sz3 > small_orig
+        assert big_sz3 < big_orig
+
+    def test_compression_dominates_write_for_eblc(self, campaign):
+        r = campaign.run(256, "sz3", 1e-3, 20.0)
+        assert r.compress_energy_j > r.write_energy_j
+
+    def test_topology(self, campaign):
+        r = campaign.run(512, None)
+        assert r.nodes == 11 and r.ranks_per_node == 48
+
+    def test_bytes_accounting(self, campaign):
+        r = campaign.run(32, "sz3", 1e-3, compression_ratio=10.0)
+        assert r.bytes_per_rank == 9 * 10**6
+        assert r.written_bytes_total == r.bytes_per_rank * 32
+
+    def test_validation(self, campaign):
+        with pytest.raises(ConfigurationError):
+            campaign.run(0, None)
+        with pytest.raises(ConfigurationError):
+            campaign.run(16, "sz3", 1e-3, compression_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            MultiNodeCampaign(
+                cpu=get_cpu("plat8160"),
+                pfs=PFSModel(),
+                io_library=get_io_library("hdf5"),
+                payload_nbytes=0,
+            )

@@ -1,0 +1,140 @@
+"""Dataset generators: registry metadata, determinism, calibrated signatures."""
+
+import numpy as np
+import pytest
+
+from repro import compress
+from repro.data import dataset_names, generate, get_dataset, inflate
+from repro.data.fields import (
+    coherent_walk,
+    gaussian_random_field,
+    rescale,
+    tanh_front,
+)
+from repro.data.registry import FIG1_DATASETS, MAIN_DATASETS
+
+
+class TestFields:
+    def test_grf_shape_and_normalization(self, rng):
+        f = gaussian_random_field((16, 16), beta=3.0, rng=rng)
+        assert f.shape == (16, 16)
+        assert f.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_grf_beta_controls_smoothness(self):
+        r1, r2 = np.random.default_rng(1), np.random.default_rng(1)
+        rough = gaussian_random_field((128,), beta=1.0, rng=r1)
+        smooth = gaussian_random_field((128,), beta=4.0, rng=r2)
+        tv = lambda f: np.abs(np.diff(f)).mean()
+        assert tv(smooth) < tv(rough)
+
+    def test_tanh_front_bounded(self, rng):
+        f = tanh_front((12, 12, 12), rng)
+        assert np.abs(f).max() <= 1.0 + 1e-9
+
+    def test_coherent_walk_noise_floor(self):
+        r = np.random.default_rng(5)
+        w = coherent_walk(4096, r, coherence=256, noise_level=1e-3)
+        assert w.shape == (4096,)
+
+    def test_rescale(self):
+        f = np.array([1.0, 2.0, 3.0])
+        out = rescale(f, -1.0, 1.0)
+        assert out.min() == -1.0 and out.max() == 1.0
+
+    def test_rescale_constant(self):
+        out = rescale(np.full(4, 2.0), 5.0, 9.0)
+        np.testing.assert_array_equal(out, 5.0)
+
+
+class TestRegistry:
+    def test_table2_metadata(self):
+        cesm = get_dataset("cesm")
+        assert cesm.paper_shape == (26, 1800, 3600)
+        assert cesm.dtype == np.float32
+        assert cesm.paper_mb == pytest.approx(673.9, rel=0.01)
+        s3d = get_dataset("s3d")
+        assert s3d.dtype == np.float64
+        assert s3d.paper_mb == pytest.approx(11000.0, rel=0.01)
+
+    def test_main_and_fig1_sets(self):
+        assert MAIN_DATASETS == ("cesm", "hacc", "nyx", "s3d")
+        assert set(FIG1_DATASETS) <= set(dataset_names())
+
+    def test_generation_matches_spec(self):
+        for name in MAIN_DATASETS:
+            spec = get_dataset(name)
+            arr = generate(name, "tiny")
+            assert arr.dtype == spec.dtype
+            assert arr.shape == spec.scales["tiny"]
+            assert np.all(np.isfinite(arr))
+
+    def test_generation_deterministic(self):
+        a = get_dataset("nyx").make("tiny")
+        b = get_dataset("nyx").make("tiny")
+        np.testing.assert_array_equal(a, b)
+
+    def test_generate_memoized_readonly(self):
+        arr = generate("nyx", "tiny")
+        assert arr is generate("nyx", "tiny")
+        with pytest.raises(ValueError):
+            arr[0, 0, 0] = 1.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_dataset("nyx").make("gigantic")
+
+    def test_s3d_profile_fraction(self):
+        s3d = get_dataset("s3d")
+        assert s3d.profile_nbytes == pytest.approx(s3d.paper_nbytes / 11, rel=1e-6)
+
+
+class TestCompressibilitySignatures:
+    """The Table III shape: the traits the generators were calibrated for."""
+
+    def test_nyx_much_more_compressible_than_hacc_at_loose_bound(self):
+        nyx = compress(np.array(generate("nyx", "test")), "sz3", 1e-1)
+        hacc_tight = compress(np.array(generate("hacc", "test")), "sz3", 1e-5)
+        assert nyx.ratio > 50
+        assert hacc_tight.ratio < 10  # HACC collapses at tight bounds
+
+    def test_hacc_szx_low_everywhere(self):
+        data = np.array(generate("hacc", "test"))
+        assert compress(data, "szx", 1e-1).ratio < 40
+
+    def test_cr_monotone_in_bound_all_main_sets(self):
+        for name in MAIN_DATASETS:
+            data = np.array(generate(name, "tiny"))
+            crs = [compress(data, "sz3", e).ratio for e in (1e-1, 1e-3, 1e-5)]
+            assert crs[0] >= crs[1] >= crs[2]
+
+
+class TestInflate:
+    def test_factor_one_is_copy(self, rng):
+        data = rng.standard_normal((8, 8)).astype(np.float32)
+        out = inflate(data, 1)
+        np.testing.assert_array_equal(out, data)
+        assert out is not data
+
+    def test_shape_scales_cubically(self, rng):
+        data = rng.standard_normal((6, 6, 6)).astype(np.float32)
+        out = inflate(data, 3)
+        assert out.shape == (18, 18, 18)
+
+    def test_statistics_preserved(self):
+        data = np.array(generate("nyx", "tiny"))
+        out = inflate(data, 2)
+        # Means within a few percent; fine-scale increments same order.
+        assert abs(float(out.mean()) - float(data.mean())) < 0.25 * abs(
+            float(data.mean())
+        ) + 1e-12
+        d_in = np.abs(np.diff(data.astype(np.float64), axis=0)).mean()
+        d_out = np.abs(np.diff(out.astype(np.float64), axis=0)).mean()
+        assert 0.1 * d_in < d_out < 3.0 * d_in
+
+    def test_invalid_factor(self, rng):
+        with pytest.raises(ValueError):
+            inflate(rng.standard_normal((4, 4)), 0)

@@ -1,0 +1,188 @@
+"""Energy stack: CPU catalogue, power model, RAPL counters, PAPI sampling."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    CPUS,
+    EnergyMeter,
+    PapiPowercapMonitor,
+    PowerModel,
+    SimulatedRapl,
+    get_cpu,
+)
+from repro.energy.cpus import PAPER_CPUS
+from repro.energy.measurement import Phase
+from repro.energy.rapl import RaplZone
+from repro.errors import ConfigurationError
+
+
+class TestCpus:
+    def test_table1_entries(self):
+        assert set(PAPER_CPUS) == set(CPUS)
+        m = get_cpu("max9480")
+        assert m.cores == 112 and m.tdp_w == 350.0
+        s = get_cpu("plat8160")
+        assert s.cores == 48 and s.tdp_w == 270.0
+        p = get_cpu("plat8260m")
+        assert p.cores == 96 and p.sockets == 4 and p.tdp_w == 165.0
+
+    def test_cores_per_socket(self):
+        assert get_cpu("plat8260m").cores_per_socket == 24
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_cpu("epyc")
+
+
+class TestPowerModel:
+    def test_idle_floor(self):
+        cpu = get_cpu("plat8160")
+        pm = PowerModel(cpu)
+        assert pm.node_power(0) == pytest.approx(cpu.sockets * cpu.idle_w)
+
+    def test_full_load_hits_tdp(self):
+        cpu = get_cpu("plat8160")
+        pm = PowerModel(cpu)
+        assert pm.node_power(cpu.cores) == pytest.approx(cpu.sockets * cpu.tdp_w)
+
+    def test_monotone_in_cores(self):
+        cpu = get_cpu("max9480")
+        pm = PowerModel(cpu)
+        powers = [pm.node_power(c) for c in range(0, cpu.cores + 1, 8)]
+        assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+    def test_sublinear_dynamic(self):
+        cpu = get_cpu("plat8160")
+        pm = PowerModel(cpu)
+        half = pm.node_power(cpu.cores_per_socket // 2) - pm.node_power(0)
+        full = pm.node_power(cpu.cores_per_socket) - pm.node_power(0)
+        assert half > 0.5 * full  # alpha < 1 concavity
+
+    def test_socket_filling_order(self):
+        cpu = get_cpu("plat8160")
+        pm = PowerModel(cpu)
+        # One core: only package 0 above idle.
+        assert pm.package_power(0, 1) > cpu.idle_w
+        assert pm.package_power(1, 1) == pytest.approx(cpu.idle_w)
+
+    def test_activity_scales_dynamic_only(self):
+        cpu = get_cpu("plat8160")
+        pm = PowerModel(cpu)
+        idle = pm.node_power(8, activity=0.0)
+        assert idle == pytest.approx(cpu.sockets * cpu.idle_w)
+        assert pm.node_power(8, activity=0.5) < pm.node_power(8, activity=1.0)
+
+    def test_validation(self):
+        pm = PowerModel(get_cpu("plat8160"))
+        with pytest.raises(ConfigurationError):
+            pm.node_power(-1)
+        with pytest.raises(ConfigurationError):
+            pm.node_power(9999)
+        with pytest.raises(ConfigurationError):
+            pm.node_power(1, activity=2.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(get_cpu("plat8160"), alpha=0.0)
+
+
+class TestRapl:
+    def test_counters_accumulate(self):
+        rapl = SimulatedRapl(get_cpu("plat8160"))
+        before = rapl.read_uj()
+        rapl.advance(1.0, active_cores=0)
+        after = rapl.read_uj()
+        joules = rapl.total_joules_between(before, after)
+        assert joules == pytest.approx(2 * 55.0, rel=1e-6)  # idle both sockets
+
+    def test_eq6_sums_packages(self):
+        rapl = SimulatedRapl(get_cpu("plat8260m"))
+        assert len(rapl.zones) == 4
+        before = rapl.read_uj()
+        rapl.advance(2.0, active_cores=1)
+        total = rapl.total_joules_between(before, rapl.read_uj())
+        per_zone = [
+            RaplZone.delta(b, a)
+            for b, a in zip(before, rapl.read_uj())
+        ]
+        assert total == pytest.approx(sum(per_zone))
+
+    def test_wraparound(self):
+        zone = RaplZone("test", max_energy_range_uj=1000)
+        zone.deposit(0.0009)  # 900 uJ
+        before = zone.energy_uj
+        zone.deposit(0.0002)  # wraps past 1000
+        assert zone.energy_uj < before
+        assert RaplZone.delta(before, zone.energy_uj, 1000) == pytest.approx(
+            200 / 1e6
+        )
+
+    def test_negative_time_rejected(self):
+        rapl = SimulatedRapl(get_cpu("plat8160"))
+        with pytest.raises(ConfigurationError):
+            rapl.advance(-1.0, 0)
+
+
+class TestPapiMonitor:
+    def test_discrete_sampling_energy(self):
+        rapl = SimulatedRapl(get_cpu("plat8160"))
+        mon = PapiPowercapMonitor(rapl, sample_interval=0.01)
+        mon.start()
+        mon.run_phase(0.1, active_cores=48)
+        joules = mon.stop()
+        # Constant power: discrete sum equals P*t exactly.
+        assert joules == pytest.approx(2 * 270.0 * 0.1, rel=1e-9)
+        assert mon.elapsed == pytest.approx(0.1, rel=1e-9)
+        assert len(mon.samples) == 11  # start + 10 ticks
+
+    def test_partial_final_interval_sampled(self):
+        rapl = SimulatedRapl(get_cpu("plat8160"))
+        mon = PapiPowercapMonitor(rapl, sample_interval=0.01)
+        mon.start()
+        mon.run_phase(0.015, active_cores=0)
+        joules = mon.stop()
+        assert joules == pytest.approx(110.0 * 0.015, rel=1e-9)
+
+    def test_double_start_rejected(self):
+        mon = PapiPowercapMonitor(SimulatedRapl(get_cpu("plat8160")))
+        mon.start()
+        with pytest.raises(ConfigurationError):
+            mon.start()
+
+    def test_stop_without_start_rejected(self):
+        mon = PapiPowercapMonitor(SimulatedRapl(get_cpu("plat8160")))
+        with pytest.raises(ConfigurationError):
+            mon.stop()
+
+
+class TestEnergyMeter:
+    def test_measure_compute(self):
+        meter = EnergyMeter(get_cpu("plat8160"))
+        report = meter.measure_compute(1.0, threads=48)
+        assert report.energy_j == pytest.approx(540.0, rel=1e-9)
+        assert report.avg_power_w == pytest.approx(540.0, rel=1e-9)
+
+    def test_phase_concatenation(self):
+        meter = EnergyMeter(get_cpu("plat8160"))
+        a = meter.measure([Phase(0.5, 48, 1.0)])
+        b = meter.measure([Phase(0.5, 0, 1.0)])
+        both = a + b
+        assert both.energy_j == pytest.approx(a.energy_j + b.energy_j)
+        assert both.runtime_s == pytest.approx(1.0)
+
+    def test_zone_split_matches_total(self):
+        meter = EnergyMeter(get_cpu("max9480"))
+        report = meter.measure([Phase(0.25, 10, 1.0)])
+        assert sum(report.zone_energies_j) == pytest.approx(report.energy_j, rel=1e-6)
+
+    def test_more_threads_less_energy_for_fixed_work(self):
+        """The Fig. 10 mechanism: shorter runtime beats higher power."""
+        from repro.energy import ThroughputModel
+
+        cpu = get_cpu("max9480")
+        tm = ThroughputModel()
+        meter = EnergyMeter(cpu)
+        e = {}
+        for threads in (1, 64):
+            t = tm.runtime("szx", "compress", 10**9, 1e-3, cpu, threads)
+            e[threads] = meter.measure_compute(t, threads).energy_j
+        assert e[64] < e[1]

@@ -1,0 +1,67 @@
+"""THE invariant: every EBLC honours the value-range relative bound.
+
+Hypothesis drives every codec with adversarial float fields across dtypes,
+shapes and bounds; any violation is a bug by the paper's Eq. 1 contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compress, decompress
+from repro.compressors import available_compressors
+from repro.metrics import check_error_bound
+
+EBLCS = [n for n in available_compressors(include_lossless=False)]
+
+
+def _arrays(draw):
+    ndim = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, 14)) for _ in range(ndim))
+    n = int(np.prod(shape))
+    kind = draw(st.sampled_from(["uniform", "walk", "spiky", "tiny-range"]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    r = np.random.default_rng(seed)
+    if kind == "uniform":
+        arr = r.uniform(-1e4, 1e4, size=n)
+    elif kind == "walk":
+        arr = np.cumsum(r.standard_normal(n))
+    elif kind == "spiky":
+        arr = r.standard_normal(n)
+        arr[r.integers(0, n, size=max(1, n // 10))] *= 1e6
+    else:
+        arr = 1e8 + r.uniform(0, 1e-3, size=n)  # huge offset, tiny range
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    return arr.reshape(shape).astype(dtype)
+
+
+@st.composite
+def fields(draw):
+    return _arrays(draw)
+
+
+@pytest.mark.parametrize("codec", EBLCS)
+class TestErrorBoundInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(data=fields(), eps_exp=st.integers(1, 5))
+    def test_bound_holds(self, codec, data, eps_exp):
+        eps = 10.0 ** (-eps_exp)
+        buf = compress(np.array(data), codec, eps)
+        rec = decompress(buf)
+        check_error_bound(data, rec, eps)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=fields())
+    def test_shape_and_dtype_preserved(self, codec, data):
+        buf = compress(np.array(data), codec, 1e-2)
+        rec = decompress(buf)
+        assert rec.shape == data.shape
+        assert rec.dtype == data.dtype
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=fields())
+    def test_deterministic_streams(self, codec, data):
+        a = compress(np.array(data), codec, 1e-2)
+        b = compress(np.array(data), codec, 1e-2)
+        assert a.data == b.data

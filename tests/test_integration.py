@@ -1,0 +1,93 @@
+"""End-to-end integration: compress -> container -> PFS file -> read -> verify."""
+
+import numpy as np
+import pytest
+
+from repro import compress, decompress
+from repro.compressors import get_compressor
+from repro.core.experiments import Testbed
+from repro.data import generate
+from repro.iolib import get_io_library
+from repro.metrics import check_error_bound, psnr
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("libname", ["hdf5", "netcdf"])
+    @pytest.mark.parametrize("codec", ["sz3", "zfp", "szx"])
+    def test_compress_write_read_decompress(self, tmp_path, libname, codec):
+        """The paper's full data path, for real bytes on a real filesystem."""
+        data = np.array(generate("nyx", "tiny"))
+        eps = 1e-3
+        buf = compress(data, codec, eps)
+        lib = get_io_library(libname)
+        path = tmp_path / f"{codec}.{libname}"
+        lib.write_file(
+            path,
+            {"field": buf.data},
+            attrs={"codec": codec, "rel_bound": str(eps)},
+        )
+        datasets, attrs = lib.read_file(path)
+        assert attrs["codec"] == codec
+        rec = get_compressor(codec).decompress(bytes(datasets["field"]))
+        check_error_bound(data, rec, eps)
+        assert rec.shape == data.shape
+
+    def test_mixed_file_original_plus_compressed(self, tmp_path):
+        data = np.array(generate("cesm", "tiny"))
+        lib = get_io_library("hdf5")
+        buf = compress(data, "sz3", 1e-2)
+        path = tmp_path / "mixed.rh5"
+        lib.write_file(path, {"raw": data, "packed": buf.data})
+        out, _ = lib.read_file(path)
+        np.testing.assert_array_equal(out["raw"], data)
+        rec = get_compressor("sz3").decompress(bytes(out["packed"]))
+        check_error_bound(data, rec, 1e-2)
+
+    def test_compressed_files_smaller_on_disk(self, tmp_path):
+        data = np.array(generate("nyx", "tiny"))
+        lib = get_io_library("hdf5")
+        n_raw = lib.write_file(tmp_path / "raw.rh5", {"d": data})
+        buf = compress(data, "sz3", 1e-2)
+        n_comp = lib.write_file(tmp_path / "comp.rh5", {"d": buf.data})
+        assert n_comp < n_raw / 5
+
+
+class TestCrossCodecConsistency:
+    def test_all_eblcs_agree_on_quality_ordering(self):
+        """Tighter bounds give better PSNR for every codec on every dataset."""
+        for ds in ("nyx", "cesm"):
+            data = np.array(generate(ds, "tiny"))
+            for codec in ("sz2", "sz3", "qoz", "zfp", "szx"):
+                p = [
+                    psnr(data, decompress(compress(data, codec, e)))
+                    for e in (1e-1, 1e-3)
+                ]
+                assert p[1] > p[0], (ds, codec)
+
+    def test_table3_orderings_on_synthetic_data(self):
+        """SZ3 ratio > SZx ratio; ZFP PSNR > SZ3 PSNR at the same bound."""
+        data = np.array(generate("nyx", "test"))
+        eps = 1e-3
+        r = {
+            c: compress(data, c, eps)
+            for c in ("sz3", "zfp", "szx")
+        }
+        assert r["sz3"].ratio > r["szx"].ratio
+        p_sz3 = psnr(data, decompress(r["sz3"]))
+        p_zfp = psnr(data, decompress(r["zfp"]))
+        assert p_zfp > p_sz3
+
+
+class TestStatisticalProtocol:
+    def test_repeated_measurements_are_stable(self):
+        """The virtual testbed is deterministic: CI collapses immediately."""
+        from repro.metrics.stats import AdaptiveRepeater
+
+        tb = Testbed(scale="tiny", sample_interval=0.05)
+
+        def measure():
+            return tb.serial_point("nyx", "szx", 1e-3, "plat8160").total_energy_j
+
+        summary = AdaptiveRepeater().run(measure)
+        assert summary.n_runs == 3
+        assert summary.ci_halfwidth == 0.0

@@ -1,0 +1,81 @@
+"""Multilevel interpolation engine: traversal symmetry and bound safety."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.interpolation import (
+    interp_decode,
+    interp_encode,
+    num_levels,
+)
+
+
+class TestNumLevels:
+    @pytest.mark.parametrize(
+        "shape,levels", [((2,), 1), ((3,), 2), ((64,), 6), ((65,), 7), ((5, 33), 6)]
+    )
+    def test_levels(self, shape, levels):
+        assert num_levels(shape) == levels
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "shape", [(17,), (33,), (12, 19), (16, 16), (9, 10, 11), (3, 5, 7, 9)]
+    )
+    def test_encode_decode_symmetry(self, shape, rng):
+        values = np.cumsum(rng.standard_normal(shape), axis=-1)
+        eb = 0.05
+        anchors, modes, codes, outliers, recon = interp_encode(values, eb)
+        decoded = interp_decode(shape, eb, anchors, modes, codes, outliers)
+        np.testing.assert_allclose(decoded, recon, atol=1e-12)
+
+    def test_bound_holds(self, rng):
+        values = rng.standard_normal((20, 21)) * 7
+        eb = 0.2
+        _, _, _, _, recon = interp_encode(values, eb)
+        assert np.abs(recon - values).max() <= eb * (1 + 1e-9)
+
+    def test_smooth_data_codes_concentrate(self):
+        x = np.linspace(0, 1, 65)
+        values = np.sin(2 * np.pi * x)[:, None] * np.cos(np.pi * x)[None, :]
+        _, _, codes, outliers, _ = interp_encode(values, 0.01)
+        assert outliers.size == 0
+        # Most codes should be the zero-residual symbol (1).
+        assert (codes == 1).mean() > 0.5
+
+    def test_mode_list_length_checked(self, rng):
+        values = rng.standard_normal((9, 9))
+        anchors, modes, codes, outliers, _ = interp_encode(values, 0.1)
+        with pytest.raises(ValueError):
+            interp_decode((9, 9), 0.1, anchors, modes[:-1], codes, outliers)
+
+    def test_code_stream_length_checked(self, rng):
+        values = rng.standard_normal((9, 9))
+        anchors, modes, codes, outliers, _ = interp_encode(values, 0.1)
+        with pytest.raises(ValueError):
+            interp_decode(
+                (9, 9), 0.1, anchors, modes, np.concatenate([codes, [1]]), outliers
+            )
+
+    def test_level_bound_tightening(self, rng):
+        """A per-level bound function must be honoured on both sides."""
+        values = np.cumsum(rng.standard_normal((33, 33)), axis=0)
+        eb = 0.5
+
+        def level_bound(level):
+            return eb / (2.0 ** (level - 1))
+
+        anchors, modes, codes, outliers, recon = interp_encode(
+            values, eb, level_bound
+        )
+        decoded = interp_decode(
+            (33, 33), eb, anchors, modes, codes, outliers, level_bound
+        )
+        np.testing.assert_allclose(decoded, recon, atol=1e-12)
+        assert np.abs(recon - values).max() <= eb * (1 + 1e-9)
+
+    def test_single_element_axis(self, rng):
+        values = rng.standard_normal((1, 16))
+        anchors, modes, codes, outliers, recon = interp_encode(values, 0.1)
+        decoded = interp_decode((1, 16), 0.1, anchors, modes, codes, outliers)
+        np.testing.assert_allclose(decoded, recon, atol=1e-12)

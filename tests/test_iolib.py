@@ -1,0 +1,172 @@
+"""I/O stack: container roundtrips, PFS fair sharing, cost calibration."""
+
+import numpy as np
+import pytest
+
+from repro.iolib import (
+    HDF5Like,
+    NetCDFLike,
+    PFSModel,
+    fair_share_schedule,
+    get_io_library,
+)
+from repro.iolib.devices import DEVICES, get_device
+from repro.errors import ConfigurationError, IOModelError
+
+
+class TestContainers:
+    @pytest.mark.parametrize("libname", ["hdf5", "netcdf"])
+    def test_array_roundtrip(self, libname, rng):
+        lib = get_io_library(libname)
+        arrays = {
+            "temp": rng.standard_normal((5, 7)).astype(np.float32),
+            "rho": rng.standard_normal((3, 4, 5)),
+        }
+        attrs = {"source": "unit-test", "version": "1"}
+        blob = lib.pack(arrays, attrs)
+        out, out_attrs = lib.unpack(blob)
+        assert out_attrs == attrs
+        for k in arrays:
+            np.testing.assert_array_equal(out[k], arrays[k])
+            assert out[k].dtype == arrays[k].dtype
+
+    @pytest.mark.parametrize("libname", ["hdf5", "netcdf"])
+    def test_opaque_bytes_roundtrip(self, libname):
+        lib = get_io_library(libname)
+        payload = bytes(range(256)) * 3
+        blob = lib.pack({"compressed": payload})
+        out, _ = lib.unpack(blob)
+        assert out["compressed"] == payload
+
+    @pytest.mark.parametrize("libname", ["hdf5", "netcdf"])
+    def test_file_roundtrip(self, libname, tmp_path, rng):
+        lib = get_io_library(libname)
+        data = {"x": rng.standard_normal(100).astype(np.float32)}
+        n = lib.write_file(tmp_path / "out.bin", data)
+        assert n == (tmp_path / "out.bin").stat().st_size
+        out, _ = lib.read_file(tmp_path / "out.bin")
+        np.testing.assert_array_equal(out["x"], data["x"])
+
+    def test_hdf5_checksum_detects_corruption(self, rng):
+        lib = HDF5Like()
+        blob = bytearray(lib.pack({"x": rng.standard_normal(64)}))
+        blob[-5] ^= 0xFF
+        with pytest.raises(IOModelError):
+            lib.unpack(bytes(blob))
+
+    def test_bad_magic(self):
+        with pytest.raises(IOModelError):
+            HDF5Like().unpack(b"garbage" * 4)
+        with pytest.raises(IOModelError):
+            NetCDFLike().unpack(b"garbage" * 4)
+
+    def test_netcdf_is_big_endian_on_disk(self):
+        """The classic-format byte swap: the RNC payload differs from memory."""
+        data = np.array([1.0, 2.0], dtype=np.float32)
+        blob = NetCDFLike().pack({"v": data})
+        assert data.tobytes() not in blob  # little-endian bytes absent
+        assert data.astype(">f4").tobytes() in blob
+
+    def test_cost_models_ordered(self):
+        """HDF5 must be the efficient library on every axis (paper VI-A)."""
+        h, n = HDF5Like.cost, NetCDFLike.cost
+        assert h.serialize_mbps > n.serialize_mbps
+        assert h.bandwidth_efficiency > n.bandwidth_efficiency
+        assert h.open_latency_s < n.open_latency_s
+
+    def test_unknown_library(self):
+        with pytest.raises(KeyError):
+            get_io_library("adios")
+
+
+class TestFairShare:
+    def test_single_flow_rate(self):
+        finish = fair_share_schedule(
+            np.array([0.0]), np.array([1e9]), 1000.0, 8000.0
+        )
+        assert finish[0] == pytest.approx(1.0)  # 1 GB at 1 GB/s
+
+    def test_contended_flows_share_aggregate(self):
+        n = 16
+        finish = fair_share_schedule(
+            np.zeros(n), np.full(n, 1e9), 1000.0, 4000.0
+        )
+        # 16 GB through 4 GB/s = 4 s for everyone (equal shares).
+        np.testing.assert_allclose(finish, 4.0, rtol=1e-6)
+
+    def test_uncontended_flows_use_own_cap(self):
+        n = 2
+        finish = fair_share_schedule(np.zeros(n), np.full(n, 1e9), 1000.0, 8000.0)
+        np.testing.assert_allclose(finish, 1.0, rtol=1e-6)
+
+    def test_staggered_arrivals(self):
+        finish = fair_share_schedule(
+            np.array([0.0, 10.0]), np.array([1e9, 1e9]), 1000.0, 8000.0
+        )
+        assert finish[0] == pytest.approx(1.0)
+        assert finish[1] == pytest.approx(11.0)
+
+    def test_early_finisher_frees_bandwidth(self):
+        finish = fair_share_schedule(
+            np.zeros(2), np.array([1e8, 1e9]), 1000.0, 1000.0
+        )
+        # Phase 1: both at 500 MB/s until small flow done at t=0.2.
+        assert finish[0] == pytest.approx(0.2)
+        # Large flow: 100 MB left of 1000 after phase 1 -> 0.2 + 0.9 s.
+        assert finish[1] == pytest.approx(1.1)
+
+    def test_work_conservation(self):
+        """Total bytes / makespan never exceeds the aggregate cap."""
+        r = np.random.default_rng(2)
+        sizes = r.uniform(1e8, 1e9, 20)
+        finish = fair_share_schedule(np.zeros(20), sizes, 800.0, 3000.0)
+        makespan = finish.max()
+        assert sizes.sum() / 1e6 / makespan <= 3000.0 * (1 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fair_share_schedule(np.zeros(2), np.zeros(3), 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fair_share_schedule(np.zeros(1), np.ones(1), 0.0, 1.0)
+
+
+class TestPFSModel:
+    def test_aggregate_and_stream_bw(self):
+        pfs = PFSModel(n_osts=8, ost_bw_mbps=500, stripe_count=4, client_bw_mbps=1000)
+        assert pfs.aggregate_bw_mbps == 4000
+        assert pfs.stream_bw_mbps == 1000  # client link binds
+
+    def test_stripe_binds_when_narrow(self):
+        pfs = PFSModel(n_osts=8, ost_bw_mbps=100, stripe_count=2, client_bw_mbps=1000)
+        assert pfs.stream_bw_mbps == 200
+
+    def test_single_write_seconds(self):
+        pfs = PFSModel(metadata_latency_s=0.01)
+        t = pfs.single_write_seconds(10**9)
+        assert t == pytest.approx(0.01 + 1000 / pfs.stream_bw_mbps)
+
+    def test_concurrent_saturation(self):
+        pfs = PFSModel(n_osts=4, ost_bw_mbps=500, stripe_count=4, client_bw_mbps=1000)
+        sizes = np.full(64, 1e9)
+        finish = pfs.concurrent_write_times(sizes)
+        # 64 GB through 2 GB/s aggregate = 32 s.
+        assert finish.max() == pytest.approx(32.0, rel=0.01)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PFSModel(stripe_count=20, n_osts=8)
+        with pytest.raises(ConfigurationError):
+            PFSModel(ost_bw_mbps=-1)
+
+
+class TestDevices:
+    def test_catalogue(self):
+        assert set(DEVICES) == {"hdd-18tb", "ssd-15tb"}
+        ssd = get_device("ssd-15tb")
+        assert ssd.rack_embodied_fraction == pytest.approx(0.80)
+        hdd = get_device("hdd-18tb")
+        assert hdd.rack_embodied_fraction == pytest.approx(0.41)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("tape")

@@ -1,0 +1,115 @@
+"""Error/quality/ratio metrics and the Eq. 1/Eq. 2 definitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ErrorBoundViolation
+from repro.metrics import (
+    autocorrelation,
+    bitrate,
+    check_error_bound,
+    compression_ratio,
+    max_abs_error,
+    max_rel_error,
+    mse,
+    nrmse,
+    psnr,
+    value_range,
+)
+
+
+class TestErrorMetrics:
+    def test_value_range(self):
+        assert value_range(np.array([2.0, -3.0, 7.0])) == 10.0
+
+    def test_max_abs_error(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.5, 2.0, 2.0])
+        assert max_abs_error(a, b) == 1.0
+
+    def test_max_rel_error_eq1_semantics(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert max_rel_error(a, b) == pytest.approx(0.1)
+
+    def test_constant_original(self):
+        a = np.full(5, 3.0)
+        assert max_rel_error(a, a) == 0.0
+        assert max_rel_error(a, a + 1.0) == float("inf")
+
+    def test_check_passes_within_bound(self):
+        a = np.linspace(0, 1, 100)
+        b = a + 0.009
+        err = check_error_bound(a, b, 1e-2)
+        assert err == pytest.approx(0.009)
+
+    def test_check_raises_on_violation(self):
+        a = np.linspace(0, 1, 100)
+        with pytest.raises(ErrorBoundViolation) as exc:
+            check_error_bound(a, a + 0.1, 1e-2)
+        assert exc.value.max_error == pytest.approx(0.1)
+        assert exc.value.bound == pytest.approx(0.01)
+
+    def test_check_no_raise_mode(self):
+        a = np.linspace(0, 1, 10)
+        err = check_error_bound(a, a + 0.5, 1e-3, raise_on_violation=False)
+        assert err == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+
+class TestQualityMetrics:
+    def test_mse_zero_for_identical(self):
+        a = np.arange(10.0)
+        assert mse(a, a) == 0.0
+
+    def test_psnr_matches_eq2(self):
+        a = np.array([1.0, 2.0, 4.0])
+        b = a + np.array([0.1, -0.1, 0.1])
+        expected = 20 * np.log10(4.0 / np.sqrt(0.01))
+        assert psnr(a, b) == pytest.approx(expected)
+
+    def test_psnr_infinite_for_perfect(self):
+        a = np.arange(5.0)
+        assert psnr(a, a) == float("inf")
+
+    def test_psnr_monotone_in_error(self):
+        a = np.linspace(0, 1, 100)
+        assert psnr(a, a + 0.001) > psnr(a, a + 0.01)
+
+    def test_nrmse_normalized(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert nrmse(a, b) == pytest.approx(np.sqrt(0.5) / 10.0)
+
+    def test_autocorrelation_white_noise_near_zero(self, rng):
+        a = np.zeros(20000)
+        b = rng.standard_normal(20000)
+        assert abs(autocorrelation(a, b)) < 0.05
+
+    def test_autocorrelation_smooth_error_near_one(self):
+        a = np.zeros(1000)
+        b = np.sin(np.linspace(0, 4 * np.pi, 1000))
+        assert autocorrelation(a, b) > 0.9
+
+    def test_autocorrelation_short_input(self):
+        assert autocorrelation(np.zeros(1), np.ones(1)) == 0.0
+
+
+class TestRatios:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_ratio_rejects_zero(self):
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_bitrate(self):
+        data = np.zeros(1000, dtype=np.float32)
+        assert bitrate(data, 500) == pytest.approx(4.0)
+
+    def test_bitrate_empty(self):
+        with pytest.raises(ValueError):
+            bitrate(np.zeros(0), 10)

@@ -1,0 +1,90 @@
+"""The 25-run/95 %-CI measurement protocol (paper Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    AdaptiveRepeater,
+    MeasurementSummary,
+    mean_ci,
+    t_critical_95,
+)
+
+
+class TestMeanCI:
+    def test_single_sample(self):
+        mean, hw = mean_ci(np.array([5.0]))
+        assert mean == 5.0 and hw == 0.0
+
+    def test_symmetric_pair(self):
+        mean, hw = mean_ci(np.array([9.0, 11.0]))
+        assert mean == 10.0
+        # sem = 1/sqrt(2) * sqrt(2) = 1; t(df=1) = 12.706
+        assert hw == pytest.approx(12.706 * 1.0, rel=1e-6)
+
+    def test_zero_variance(self):
+        mean, hw = mean_ci(np.full(10, 3.0))
+        assert mean == 3.0 and hw == 0.0
+
+    def test_only_95_supported(self):
+        with pytest.raises(ValueError):
+            mean_ci(np.ones(3), confidence=0.99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci(np.array([]))
+
+    def test_t_table_against_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for df in [1, 2, 5, 10, 29]:
+            assert t_critical_95(df) == pytest.approx(
+                scipy_stats.t.ppf(0.975, df), abs=2e-3
+            )
+
+    def test_t_large_df_normal(self):
+        assert t_critical_95(1000) == pytest.approx(1.96, abs=1e-3)
+
+
+class TestAdaptiveRepeater:
+    def test_stops_early_on_stable_measurements(self):
+        calls = []
+
+        def measure():
+            calls.append(1)
+            return 10.0
+
+        summary = AdaptiveRepeater(max_runs=25).run(measure)
+        assert summary.n_runs == 3  # min_runs with zero variance
+        assert summary.mean == 10.0
+
+    def test_caps_at_max_runs_for_noisy_measurements(self):
+        r = np.random.default_rng(0)
+        summary = AdaptiveRepeater(max_runs=25, rel_tolerance=1e-6).run(
+            lambda: float(r.uniform(0, 100))
+        )
+        assert summary.n_runs == 25
+
+    def test_summary_fields(self):
+        vals = iter([1.0, 2.0, 3.0, 2.0, 2.0])
+        summary = AdaptiveRepeater(max_runs=5, rel_tolerance=0.0).run(
+            lambda: next(vals)
+        )
+        assert summary.n_runs == 5
+        assert summary.samples == (1.0, 2.0, 3.0, 2.0, 2.0)
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.rel_ci > 0
+
+    def test_paper_protocol_defaults(self):
+        rep = AdaptiveRepeater()
+        assert rep.max_runs == 25
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AdaptiveRepeater(max_runs=0)
+        with pytest.raises(ValueError):
+            AdaptiveRepeater(max_runs=5, min_runs=9)
+
+    def test_summary_is_frozen(self):
+        s = MeasurementSummary(1.0, 0.1, 3, (1.0, 1.0, 1.0))
+        with pytest.raises(AttributeError):
+            s.mean = 2.0

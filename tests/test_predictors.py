@@ -1,0 +1,88 @@
+"""SZ2 predictors: Lorenzo encode/decode symmetry and regression fits."""
+
+import numpy as np
+
+from repro.compressors.predictors import (
+    estimate_lorenzo_error,
+    lorenzo_decode_blocks,
+    lorenzo_encode_blocks,
+    regression_fit,
+    regression_predict,
+)
+from repro.compressors.quantizer import LinearQuantizer
+
+
+def _decode_slots(codes):
+    flat = codes.reshape(-1)
+    esc = flat == 0
+    return np.where(esc, np.cumsum(esc) - 1, -1).reshape(codes.shape)
+
+
+class TestLorenzo:
+    def test_encode_decode_symmetry_3d(self, rng):
+        blocks = np.cumsum(rng.standard_normal((5, 6, 6, 6)), axis=1)
+        q = LinearQuantizer(0.05)
+        codes, recon, _ = lorenzo_encode_blocks(blocks, q)
+        outliers = blocks.reshape(-1)[codes.reshape(-1) == 0]
+        decoded = lorenzo_decode_blocks(codes, outliers, _decode_slots(codes), q)
+        np.testing.assert_allclose(decoded, recon, atol=1e-12)
+
+    def test_error_bound_holds(self, rng):
+        blocks = rng.standard_normal((4, 6, 6, 6)) * 10
+        q = LinearQuantizer(0.5)
+        codes, recon, _ = lorenzo_encode_blocks(blocks, q)
+        assert np.abs(recon - blocks).max() <= 0.5 * (1 + 1e-9)
+
+    def test_smooth_blocks_mostly_small_codes(self):
+        x = np.linspace(0, 1, 6)
+        block = (x[:, None, None] + x[None, :, None] + x[None, None, :])[None]
+        q = LinearQuantizer(0.01)
+        codes, _, _ = lorenzo_encode_blocks(block, q)
+        # Perfect-plane data is exactly Lorenzo-predictable after warmup.
+        assert np.median(codes) == 1  # zigzag(0) + 1
+
+    def test_1d_and_2d_ranks(self, rng):
+        for shape in [(3, 32), (3, 8, 8)]:
+            blocks = np.cumsum(rng.standard_normal(shape), axis=-1)
+            q = LinearQuantizer(0.1)
+            codes, recon, _ = lorenzo_encode_blocks(blocks, q)
+            outliers = blocks.reshape(-1)[codes.reshape(-1) == 0]
+            decoded = lorenzo_decode_blocks(codes, outliers, _decode_slots(codes), q)
+            np.testing.assert_allclose(decoded, recon, atol=1e-12)
+
+
+class TestRegression:
+    def test_fits_exact_plane(self):
+        i, j, k = np.meshgrid(np.arange(6), np.arange(6), np.arange(6), indexing="ij")
+        plane = (2.0 + 3.0 * i - 1.5 * j + 0.5 * k)[None].astype(np.float64)
+        coeffs = regression_fit(plane)
+        pred = regression_predict(coeffs, (6, 6, 6))
+        np.testing.assert_allclose(pred, plane, rtol=1e-4)
+
+    def test_prediction_shape(self, rng):
+        blocks = rng.standard_normal((7, 6, 6, 6))
+        coeffs = regression_fit(blocks)
+        assert coeffs.shape == (7, 4)
+        assert regression_predict(coeffs, (6, 6, 6)).shape == (7, 6, 6, 6)
+
+    def test_float32_storage_is_consistent(self, rng):
+        """Prediction from stored (f32) coefficients is reproducible."""
+        blocks = rng.standard_normal((3, 6, 6, 6))
+        coeffs = regression_fit(blocks)
+        p1 = regression_predict(coeffs, (6, 6, 6))
+        p2 = regression_predict(coeffs.copy(), (6, 6, 6))
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestSelectionEstimate:
+    def test_plane_favours_regression_noise_favours_lorenzo_estimate(self, rng):
+        i, j, k = np.meshgrid(np.arange(6), np.arange(6), np.arange(6), indexing="ij")
+        plane = (10 + 2.0 * i + j - k)[None].astype(np.float64)
+        est_plane = estimate_lorenzo_error(plane)
+        # A smooth random walk is exactly what Lorenzo handles.
+        walk = np.cumsum(rng.standard_normal((1, 6, 6, 6)) * 0.01, axis=1)
+        reg_err_walk = np.abs(
+            walk - regression_predict(regression_fit(walk), (6, 6, 6))
+        ).mean()
+        assert estimate_lorenzo_error(walk)[0] < reg_err_walk + 1.0
+        assert est_plane[0] >= 0.0

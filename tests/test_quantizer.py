@@ -1,0 +1,94 @@
+"""Linear quantizer: the error-bound contract and the outlier escape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.quantizer import (
+    LinearQuantizer,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestZigzag:
+    def test_known_values(self):
+        signed = np.array([0, -1, 1, -2, 2, -3])
+        np.testing.assert_array_equal(zigzag_encode(signed), [0, 1, 2, 3, 4, 5])
+
+    def test_roundtrip(self):
+        signed = np.arange(-1000, 1000)
+        np.testing.assert_array_equal(zigzag_decode(zigzag_encode(signed)), signed)
+
+
+class TestQuantizer:
+    def test_bound_holds_for_quantized_values(self, rng):
+        q = LinearQuantizer(0.5)
+        values = rng.uniform(-100, 100, size=5000)
+        preds = values + rng.uniform(-40, 40, size=5000)
+        res = q.quantize(values, preds)
+        assert np.all(np.abs(res.recon - values) <= 0.5 * (1 + 1e-9))
+
+    def test_outliers_reproduce_exactly(self, rng):
+        q = LinearQuantizer(1e-6, max_code=16)  # tiny range forces escapes
+        values = rng.uniform(-1e6, 1e6, size=200)
+        preds = np.zeros(200)
+        res = q.quantize(values, preds)
+        assert (res.codes == 0).any()
+        np.testing.assert_array_equal(res.recon[res.codes == 0], values[res.codes == 0])
+
+    def test_roundtrip_with_dequantize(self, rng):
+        q = LinearQuantizer(0.25)
+        values = rng.standard_normal(1000) * 10
+        preds = np.zeros(1000)
+        res = q.quantize(values, preds)
+        recon = q.dequantize(res.codes, preds, res.outliers)
+        np.testing.assert_allclose(recon, res.recon)
+
+    def test_nonfinite_prediction_escapes(self):
+        q = LinearQuantizer(0.1)
+        values = np.array([1.0, 2.0])
+        preds = np.array([np.inf, 1.9])
+        res = q.quantize(values, preds)
+        assert res.codes[0] == 0
+        assert res.recon[0] == 1.0
+        assert res.codes[1] != 0
+
+    def test_outlier_count_mismatch_raises(self):
+        q = LinearQuantizer(0.1)
+        res = q.quantize(np.array([100.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            q.dequantize(res.codes, np.array([0.0]), np.zeros(5))
+
+    def test_code_zero_reserved(self, rng):
+        q = LinearQuantizer(0.5)
+        values = rng.uniform(-5, 5, 100)
+        res = q.quantize(values, np.zeros(100))
+        assert res.codes.min() >= 1  # no escapes needed here
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(0.0)
+        with pytest.raises(ValueError):
+            LinearQuantizer(1.0, max_code=1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(1e-9, 1e6),
+        st.lists(
+            st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=100,
+        ),
+    )
+    def test_bound_property(self, bound, raw):
+        values = np.array(raw)
+        q = LinearQuantizer(bound)
+        res = q.quantize(values, np.zeros_like(values))
+        # Contract: every element within bound OR stored exactly.
+        err = np.abs(res.recon - values)
+        ok = (err <= bound * (1 + 1e-9)) | (res.codes == 0)
+        assert ok.all()
+        recon = q.dequantize(res.codes, np.zeros_like(values), res.outliers)
+        np.testing.assert_array_equal(recon, res.recon)

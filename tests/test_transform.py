@@ -1,0 +1,87 @@
+"""ZFP transform machinery: exact lifting inverse, orderings, negabinary."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.transform import (
+    forward_lift,
+    forward_transform,
+    int_to_negabinary,
+    inverse_lift,
+    inverse_transform,
+    negabinary_to_int,
+    sequency_order,
+)
+
+
+class TestLifting:
+    # ZFP's lifted transform drops low bits in its >>1 steps, so the
+    # inverse recovers inputs only to within a few integer units; the codec
+    # budgets for this (guard bits + raw escape).  These tests pin the
+    # deviation, not exactness.
+    def test_forward_inverse_near_exact_1d(self, rng):
+        v = rng.integers(-(2**40), 2**40, size=(100, 4)).astype(np.int64)
+        out = inverse_lift(forward_lift(v, 1), 1)
+        assert np.abs(out - v).max() <= 4
+
+    def test_full_transform_roundtrip_3d(self, rng):
+        v = rng.integers(-(2**40), 2**40, size=(50, 4, 4, 4)).astype(np.int64)
+        out = inverse_transform(forward_transform(v))
+        assert np.abs(out - v).max() <= 24  # ~8 units/dimension of lift slack
+
+    def test_transform_decorrelates_smooth_ramp(self):
+        ramp = np.arange(4, dtype=np.int64) * 1000
+        block = (ramp[:, None, None] + ramp[None, :, None] + ramp[None, None, :])[None]
+        coeffs = forward_transform(block)
+        # DC coefficient should dominate smooth input.
+        flat = np.abs(coeffs.reshape(-1))
+        assert flat.argmax() == 0
+
+    def test_headroom_within_int64(self, rng):
+        v = rng.integers(-(2**44), 2**44, size=(20, 4, 4, 4)).astype(np.int64)
+        coeffs = forward_transform(v)
+        assert np.abs(coeffs).max() < 2**52
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-(2**40), 2**40), min_size=4, max_size=4))
+    def test_lift_roundtrip_property(self, vals):
+        v = np.array(vals, dtype=np.int64).reshape(1, 4)
+        out = inverse_lift(forward_lift(v, 1), 1)
+        assert np.abs(out - v).max() <= 4
+
+
+class TestSequency:
+    def test_permutation_valid(self):
+        for ndim in (1, 2, 3):
+            order = sequency_order(ndim)
+            assert sorted(order.tolist()) == list(range(4**ndim))
+
+    def test_dc_first(self):
+        for ndim in (1, 2, 3):
+            assert sequency_order(ndim)[0] == 0
+
+    def test_3d_last_is_highest_frequency(self):
+        order = sequency_order(3)
+        assert order[-1] == 63  # (3,3,3) has maximal total sequency
+
+
+class TestNegabinary:
+    def test_roundtrip_range(self):
+        x = np.arange(-1000, 1000, dtype=np.int64)
+        np.testing.assert_array_equal(negabinary_to_int(int_to_negabinary(x)), x)
+
+    def test_zero_maps_to_zero(self):
+        assert int_to_negabinary(np.array([0], dtype=np.int64))[0] == 0
+
+    def test_small_magnitudes_have_few_bits(self):
+        """Negabinary of small ints keeps high bits clear (codability)."""
+        x = np.arange(-8, 9, dtype=np.int64)
+        nb = int_to_negabinary(x)
+        assert int(nb.max()) < 2**6
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(-(2**60), 2**60))
+    def test_roundtrip_property(self, v):
+        x = np.array([v], dtype=np.int64)
+        np.testing.assert_array_equal(negabinary_to_int(int_to_negabinary(x)), x)
