@@ -8,19 +8,19 @@ Paper shape: runtime rises as the bound tightens on the Intel Xeon CPU MAX
 from conftest import run_once
 
 from repro.core.report import format_series
+from repro.runtime.spec import SweepSpec
 
 BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
 CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
 DATASETS = ("cesm", "hacc", "nyx", "s3d")
 
+SPEC = SweepSpec(
+    kind="serial", datasets=DATASETS, codecs=CODECS, bounds=BOUNDS, cpus=("max9480",)
+)
 
-def test_fig05_runtime_vs_bound(benchmark, testbed, emit):
-    points = run_once(
-        benchmark,
-        lambda: testbed.run_serial_sweep(
-            datasets=DATASETS, codecs=CODECS, bounds=BOUNDS, cpus=("max9480",)
-        ),
-    )
+
+def test_fig05_runtime_vs_bound(benchmark, engine, emit):
+    points = run_once(benchmark, lambda: engine.run(SPEC))
     by = {(p.dataset, p.codec, p.rel_bound): p for p in points}
     blocks = []
     for ds in DATASETS:

@@ -8,18 +8,20 @@ bounds move points down-left (lower ratio) and up (more energy).
 from conftest import run_once
 
 from repro.core.report import format_table
+from repro.runtime.spec import SweepSpec
 
 BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
 CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
 
+# One S3D column of the Fig. 5 grid: a warm session store answers all 25
+# points from cache after bench_fig05 has run.
+SPEC = SweepSpec(
+    kind="serial", datasets=("s3d",), codecs=CODECS, bounds=BOUNDS, cpus=("max9480",)
+)
 
-def test_fig08_cr_vs_energy(benchmark, testbed, emit):
-    points = run_once(
-        benchmark,
-        lambda: testbed.run_serial_sweep(
-            datasets=("s3d",), codecs=CODECS, bounds=BOUNDS, cpus=("max9480",)
-        ),
-    )
+
+def test_fig08_cr_vs_energy(benchmark, engine, emit):
+    points = run_once(benchmark, lambda: engine.run(SPEC))
     rows = [
         [
             p.codec,

@@ -9,20 +9,25 @@ S3D); energy rises as the bound tightens; HDF5 beats NetCDF consistently
 from conftest import run_once
 
 from repro.core.report import format_series
+from repro.runtime.spec import SweepSpec
 
 BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
 CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
 DATASETS = ("cesm", "hacc", "nyx", "s3d")
 LIBS = ("hdf5", "netcdf")
 
+SPEC = SweepSpec(
+    kind="io",
+    datasets=DATASETS,
+    codecs=CODECS,
+    bounds=BOUNDS,
+    io_libraries=LIBS,
+    cpus=("max9480",),
+)
 
-def test_fig11_io_energy(benchmark, testbed, emit):
-    points = run_once(
-        benchmark,
-        lambda: testbed.run_io_sweep(
-            datasets=DATASETS, codecs=CODECS, bounds=BOUNDS, io_libraries=LIBS
-        ),
-    )
+
+def test_fig11_io_energy(benchmark, engine, emit):
+    points = run_once(benchmark, lambda: engine.run(SPEC))
     by = {(p.io_library, p.dataset, p.codec, p.rel_bound): p for p in points}
     blocks = []
     for lib in LIBS:

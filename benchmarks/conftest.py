@@ -24,6 +24,12 @@ def testbed():
 
 
 @pytest.fixture(scope="session")
+def engine(testbed):
+    """The testbed's own sweep engine, for SweepSpec-driven benches."""
+    return testbed.engine
+
+
+@pytest.fixture(scope="session")
 def emit():
     """Writer: emit(artifact_id, text) -> results/<artifact_id>.txt."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -18,7 +18,11 @@ Compress: Energy Trade-Offs and Benefits of Lossy Compressed I/O"*
 - :mod:`repro.cluster` — discrete-event multi-node compress+write campaigns;
 - :mod:`repro.core` — the Section-III trade-off formulation, the advisor,
   experiment drivers for every figure/table, and facility-scale
-  extrapolation.
+  extrapolation;
+- :mod:`repro.runtime` — the parallel sweep engine: declarative
+  ``SweepSpec`` grids, a content-addressed memoizing ``ResultStore``, and
+  serial/thread/process executors behind every figure driver and the
+  ``repro sweep`` CLI subcommand.
 
 Quickstart::
 
@@ -54,12 +58,35 @@ __all__ = [
 
 
 def compress(array, codec: str = "sz3", rel_bound: float = 1e-3, **kwargs):
-    """Compress ``array`` with a registered codec under a relative bound."""
+    """Compress ``array`` with a registered codec under a relative bound.
+
+    ``codec`` is any name from :func:`available_compressors` — the
+    error-bounded family (``sz2``, ``sz3``, ``qoz``, ``zfp``, ``szx``) or a
+    lossless baseline (``zstd``, ``blosc``, ``fpzip``, ``fpc``, which
+    ignore the bound).  ``rel_bound`` is the paper's value-range relative
+    error bound ε: every reconstructed element is guaranteed within
+    ``ε * (array.max() - array.min())`` of the original.  Extra keyword
+    arguments are forwarded to the codec constructor.
+
+    Returns a :class:`CompressedBuffer` whose ``data`` bytes embed codec,
+    geometry and bound, so they round-trip through files and
+    :func:`decompress` without side-band metadata.  The same codecs/bounds
+    can be swept as whole (codec × bound × dataset) grids — see
+    :mod:`repro.runtime` and the ``repro sweep`` CLI subcommand.
+    """
     return get_compressor(codec, **kwargs).compress(array, rel_bound)
 
 
 def decompress(buf):
-    """Decompress a :class:`CompressedBuffer` with the codec it names."""
+    """Decompress a :class:`CompressedBuffer` (or its raw ``bytes``).
+
+    The codec is read from the stream header, so no flags are needed — this
+    mirrors ``repro decompress`` / ``repro inspect`` on the CLI (run
+    ``repro --help`` for the full subcommand tour, including ``sweep``).
+    Returns the reconstructed :class:`numpy.ndarray` with its original
+    shape and dtype; for error-bounded codecs it satisfies the stream's
+    recorded relative bound, for lossless codecs it is bit-exact.
+    """
     return get_compressor(buf.codec).decompress(buf)
 
 

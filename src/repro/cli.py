@@ -1,4 +1,4 @@
-"""Command-line interface: compress, inspect, advise, and list resources.
+"""Command-line interface: compress, inspect, advise, sweep, list resources.
 
 Usage (after ``pip install -e .``)::
 
@@ -6,11 +6,15 @@ Usage (after ``pip install -e .``)::
     python -m repro decompress OUTPUT.rpz RECON.npy
     python -m repro inspect OUTPUT.rpz
     python -m repro advise --dataset cesm --psnr-min 60 --io hdf5
+    python -m repro sweep --kind serial --datasets cesm --codecs sz3,szx
     python -m repro datasets
     python -m repro cpus
 
 Arrays are exchanged as ``.npy`` files; compressed streams carry their own
 codec/geometry header, so ``decompress`` and ``inspect`` need no flags.
+``sweep`` runs a declarative experiment grid through the parallel,
+memoizing :mod:`repro.runtime` engine; every subcommand's flags are
+documented in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -34,6 +38,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Energy-aware error-bounded lossy compression toolkit "
         "(reproduction of Wilkins et al., arXiv:2410.23497).",
+        epilog=(
+            "examples:\n"
+            "  repro compress field.npy field.rpz --codec sz3 --rel-bound 1e-3\n"
+            "  repro advise --dataset s3d --io netcdf --psnr-min 60\n"
+            "  repro sweep --kind io --datasets cesm,s3d --executor process\n"
+            "  repro sweep --spec grid.json --cache-dir .sweep-cache\n\n"
+            "`repro sweep` evaluates a whole (dataset x codec x bound x CPU x\n"
+            "I/O library) grid in one shot — in parallel and memoized, see\n"
+            "docs/cli.md and docs/user-guide/sweeps.md."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -76,6 +91,75 @@ def build_parser() -> argparse.ArgumentParser:
         default="test",
         choices=("tiny", "test", "bench"),
         help="synthetic data scale used for the real compression measurements",
+    )
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel, memoizing engine",
+        description="Expand a declarative sweep spec into (dataset, codec, "
+        "bound, CPU, I/O library) grid points, evaluate them — serially or "
+        "on a thread/process pool, memoized in a result store — and print "
+        "the records as a table (or JSON).",
+    )
+    p.add_argument(
+        "--spec",
+        help="JSON file holding a SweepSpec; overrides all grid axis flags",
+    )
+    p.add_argument(
+        "--kind",
+        default="serial",
+        choices=("serial", "thread", "quality", "io", "read", "lossless"),
+        help="grid shape; each kind maps onto one Testbed driver",
+    )
+    p.add_argument("--datasets", default="cesm,hacc,nyx,s3d", help="comma-separated")
+    p.add_argument("--codecs", default="sz2,sz3,zfp,qoz,szx", help="comma-separated")
+    p.add_argument(
+        "--bounds",
+        default="1e-1,1e-2,1e-3,1e-4,1e-5",
+        help="comma-separated REL error bounds",
+    )
+    p.add_argument("--cpus", default="max9480", help="comma-separated Table-I names")
+    p.add_argument("--io-libraries", default="hdf5,netcdf", help="comma-separated")
+    p.add_argument(
+        "--threads",
+        default="1",
+        help="comma-separated thread counts (axis for --kind thread)",
+    )
+    p.add_argument(
+        "--rel-bound",
+        type=float,
+        default=1e-3,
+        help="single bound used by the thread/lossless kinds",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="io/read kinds: skip the uncompressed baseline points",
+    )
+    p.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "thread", "process"),
+        help="how grid points are evaluated",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, help="pool width (default: CPU count)"
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist evaluated points as JSON under this directory",
+    )
+    p.add_argument(
+        "--scale",
+        default="test",
+        choices=("tiny", "test", "bench"),
+        help="synthetic data scale for the real compression measurements",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit records as a JSON array instead of a table",
     )
 
     sub.add_parser("datasets", help="list the dataset catalogue (Table II)")
@@ -158,6 +242,107 @@ def _cmd_advise(args) -> int:
     return 1
 
 
+def _sweep_table(records) -> str:
+    """Render engine records as a table; columns depend on the record type."""
+    from repro.core.experiments import IOPoint, RoundtripRecord, SerialPoint
+
+    first = records[0]
+    if isinstance(first, SerialPoint):
+        headers = ["dataset", "codec", "REL", "cpu", "thr", "t_comp [s]",
+                   "t_dec [s]", "E_comp [J]", "E_dec [J]", "ratio", "PSNR [dB]"]
+        rows = [
+            [p.dataset, p.codec, f"{p.rel_bound:.0e}", p.cpu, p.threads,
+             f"{p.compress_time_s:.3f}", f"{p.decompress_time_s:.3f}",
+             f"{p.compress_energy_j:.1f}", f"{p.decompress_energy_j:.1f}",
+             f"{p.roundtrip.ratio:.2f}", f"{p.roundtrip.psnr_db:.1f}"]
+            for p in records
+        ]
+    elif isinstance(first, IOPoint):
+        headers = ["io", "dataset", "codec", "REL", "payload", "t_io [s]",
+                   "E_io [J]", "t_codec [s]", "E_codec [J]", "E_total [J]"]
+        rows = [
+            [p.io_library, p.dataset, p.codec or "original",
+             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
+             si(p.bytes_written, "B"), f"{p.write_time_s:.3f}",
+             f"{p.write_energy_j:.1f}", f"{p.compress_time_s:.3f}",
+             f"{p.compress_energy_j:.1f}", f"{p.total_energy_j:.1f}"]
+            for p in records
+        ]
+    elif isinstance(first, RoundtripRecord):
+        headers = ["dataset", "codec", "REL", "ratio", "PSNR [dB]", "max rel err"]
+        rows = [
+            [r.dataset, r.codec, f"{r.rel_bound:.0e}", f"{r.ratio:.2f}",
+             f"{r.psnr_db:.1f}" if r.psnr_db != float("inf") else "inf",
+             f"{r.max_rel_err:.2e}"]
+            for r in records
+        ]
+    else:  # pragma: no cover - future record types
+        headers = ["record"]
+        rows = [[repr(r)] for r in records]
+    return format_table(headers, rows)
+
+
+def _cmd_sweep(args) -> int:
+    import json as _json
+
+    from repro.core.experiments import Testbed
+    from repro.runtime.engine import SweepEngine
+    from repro.runtime.spec import SweepSpec
+    from repro.runtime.store import ResultStore, encode_record
+
+    def _csv(text):
+        return tuple(part for part in text.split(",") if part)
+
+    if args.spec:
+        with open(args.spec) as fh:
+            spec = SweepSpec.from_json(fh.read())
+    else:
+        spec = SweepSpec(
+            kind=args.kind,
+            datasets=_csv(args.datasets),
+            codecs=_csv(args.codecs),
+            bounds=tuple(float(b) for b in _csv(args.bounds)),
+            cpus=_csv(args.cpus),
+            io_libraries=_csv(args.io_libraries),
+            threads=tuple(int(t) for t in _csv(args.threads)),
+            rel_bound=args.rel_bound,
+            include_baseline=not args.no_baseline,
+        )
+    engine = SweepEngine(
+        testbed=Testbed(scale=args.scale),
+        store=ResultStore(cache_dir=args.cache_dir),
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    records = engine.run(spec)
+    if not records:
+        print("sweep expanded to zero grid points", file=sys.stderr)
+        return 1
+    if args.json:
+        import math as _math
+
+        def _finite(value):
+            # Lossless round-trips carry psnr_db=inf; keep the emitted
+            # JSON RFC-valid (json.dumps would print bare `Infinity`).
+            if isinstance(value, float) and not _math.isfinite(value):
+                return repr(value)
+            if isinstance(value, dict):
+                return {k: _finite(v) for k, v in value.items()}
+            return value
+
+        print(_json.dumps([_finite(encode_record(r)) for r in records], indent=2))
+    else:
+        print(_sweep_table(records))
+        stats = engine.store.stats
+        print(
+            f"\n{len(records)} points: {engine.stats.computed} computed, "
+            f"{engine.stats.cache_hits} cached "
+            f"(memory {stats['memory_hits']}, disk {stats['disk_hits']}) "
+            f"via {args.executor} executor"
+        )
+    return 0
+
+
 def _cmd_datasets(args) -> int:
     from repro.data.registry import DATASETS
 
@@ -202,6 +387,7 @@ _COMMANDS = {
     "decompress": _cmd_decompress,
     "inspect": _cmd_inspect,
     "advise": _cmd_advise,
+    "sweep": _cmd_sweep,
     "datasets": _cmd_datasets,
     "cpus": _cmd_cpus,
     "codecs": _cmd_codecs,

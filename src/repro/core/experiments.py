@@ -10,7 +10,11 @@
 Every driver returns plain dataclass records that the benchmark harness
 renders into the paper's rows/series.  Compression round-trips are memoized
 per (dataset, scale, codec, bound) — Figures 5/7/8/9 and Table III all share
-one sweep.
+one sweep.  The grid drivers (``run_serial_sweep``, ``run_thread_sweep``,
+``run_quality_table``, ``run_io_sweep``, ``run_lossless_comparison``)
+delegate to the :mod:`repro.runtime` sweep engine, so whole evaluated points
+— not just round-trips — are memoized in the process-wide result store and
+can be fanned out over thread/process pools.
 """
 
 from __future__ import annotations
@@ -140,6 +144,26 @@ class Testbed:
         self.throughput = throughput or ThroughputModel()
         self.sample_interval = sample_interval
         self.verify_bounds = verify_bounds
+        self._engine = None
+
+    @property
+    def engine(self):
+        """The sweep engine every grid driver runs through.
+
+        Built lazily against the process-wide default result store, so all
+        testbeds with equal configuration share evaluated points.  Assign a
+        custom :class:`~repro.runtime.engine.SweepEngine` to change the
+        executor, store, or progress callbacks.
+        """
+        if self._engine is None:
+            from repro.runtime.engine import SweepEngine
+
+            self._engine = SweepEngine(testbed=self)
+        return self._engine
+
+    @engine.setter
+    def engine(self, value):
+        self._engine = value
 
     # -- real compression (memoized) -----------------------------------------
 
@@ -361,15 +385,18 @@ class Testbed:
         threads: int = 1,
     ) -> list[SerialPoint]:
         """Figs. 5 and 7 (and the data behind Figs. 8/9 and Table III)."""
-        out = []
-        for cpu in cpus:
-            for ds in datasets:
-                for codec in codecs:
-                    for eps in bounds:
-                        out.append(
-                            self.serial_point(ds, codec, eps, cpu, threads=threads)
-                        )
-        return out
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(
+            SweepSpec(
+                kind="serial",
+                datasets=datasets,
+                codecs=codecs,
+                bounds=bounds,
+                cpus=cpus,
+                threads=(threads,),
+            )
+        )
 
     def run_thread_sweep(
         self,
@@ -386,20 +413,19 @@ class Testbed:
         toolchain could not run (OpenMP SZ2 on 1-D/4-D, QoZ on 1-D) so the
         output matrix matches the figure's missing bars exactly.
         """
-        from repro.compressors.capabilities import supported
+        from repro.runtime.spec import SweepSpec
 
-        out = []
-        for cpu in cpus:
-            for ds in datasets:
-                ndim = len(get_dataset(ds).paper_shape)
-                for codec in codecs:
-                    if paper_fidelity and not supported(codec, ndim, "openmp"):
-                        continue
-                    for th in threads:
-                        out.append(
-                            self.serial_point(ds, codec, rel_bound, cpu, threads=th)
-                        )
-        return out
+        return self.engine.run(
+            SweepSpec(
+                kind="thread",
+                datasets=datasets,
+                codecs=codecs,
+                threads=threads,
+                rel_bound=rel_bound,
+                cpus=cpus,
+                paper_fidelity=paper_fidelity,
+            )
+        )
 
     def run_quality_table(
         self,
@@ -408,12 +434,11 @@ class Testbed:
         bounds=(1e-1, 1e-3, 1e-5),
     ) -> list[RoundtripRecord]:
         """Table III: CR and PSNR grid."""
-        return [
-            self.roundtrip(ds, codec, eps)
-            for ds in datasets
-            for eps in bounds
-            for codec in codecs
-        ]
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(
+            SweepSpec(kind="quality", datasets=datasets, codecs=codecs, bounds=bounds)
+        )
 
     def run_io_sweep(
         self,
@@ -424,14 +449,18 @@ class Testbed:
         cpu_name: str = "max9480",
     ) -> list[IOPoint]:
         """Fig. 11: post-compression write energy plus the original baseline."""
-        out = []
-        for lib in io_libraries:
-            for ds in datasets:
-                out.append(self.io_point(ds, None, None, lib, cpu_name))
-                for codec in codecs:
-                    for eps in bounds:
-                        out.append(self.io_point(ds, codec, eps, lib, cpu_name))
-        return out
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(
+            SweepSpec(
+                kind="io",
+                datasets=datasets,
+                codecs=codecs,
+                bounds=bounds,
+                io_libraries=io_libraries,
+                cpus=(cpu_name,),
+            )
+        )
 
     def run_lossless_comparison(
         self,
@@ -441,13 +470,17 @@ class Testbed:
         rel_bound: float = 1e-2,
     ) -> list[RoundtripRecord]:
         """Fig. 1: lossless vs EBLC ratios."""
-        out = []
-        for ds in datasets:
-            for codec in lossless:
-                out.append(self.roundtrip(ds, codec, 0.0))
-            for codec in eblc:
-                out.append(self.roundtrip(ds, codec, rel_bound))
-        return out
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(
+            SweepSpec(
+                kind="lossless",
+                datasets=datasets,
+                codecs=eblc,
+                lossless_codecs=lossless,
+                rel_bound=rel_bound,
+            )
+        )
 
     def run_multinode(
         self,

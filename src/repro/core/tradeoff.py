@@ -4,6 +4,12 @@
 Section-III benefit conditions to every point, versus the uncompressed
 baseline through the same I/O library.  This is the machinery behind
 Figs. 8/9 (ratio/PSNR vs energy) and behind the advisor's recommendation.
+
+The grid itself is evaluated through the :mod:`repro.runtime` sweep engine:
+the serial and I/O points (and the uncompressed baseline every record is
+judged against) land in the engine's memoizing result store, so re-running
+``evaluate`` over a warm store — or asking the advisor about the same grid
+twice — performs zero new testbed evaluations.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from dataclasses import dataclass
 
 from repro.core.experiments import Testbed
 from repro.core.formulation import BenefitConditions, CompressionPlan
+from repro.runtime.engine import SweepEngine
+from repro.runtime.spec import SweepSpec
 
 __all__ = ["TradeoffRecord", "TradeoffAnalyzer"]
 
@@ -50,10 +58,14 @@ class TradeoffAnalyzer:
         testbed: Testbed | None = None,
         cpu_name: str = "max9480",
         io_library: str = "hdf5",
+        engine: SweepEngine | None = None,
     ):
         self.testbed = testbed or Testbed()
         self.cpu_name = cpu_name
         self.io_library = io_library
+        # Reuse the testbed's engine (and thus the shared default store)
+        # unless the caller wires in their own executor/cache.
+        self.engine = engine or self.testbed.engine
 
     def evaluate(
         self,
@@ -63,13 +75,34 @@ class TradeoffAnalyzer:
         psnr_min_db: float = 60.0,
     ) -> list[TradeoffRecord]:
         """Run the grid; every record carries its Eq. 3-5 verdicts."""
-        tb = self.testbed
-        baseline = tb.io_point(dataset, None, None, self.io_library, self.cpu_name)
+        serial_points = self.engine.run(
+            SweepSpec(
+                kind="serial",
+                datasets=(dataset,),
+                codecs=codecs,
+                bounds=bounds,
+                cpus=(self.cpu_name,),
+            )
+        )
+        io_points = self.engine.run(
+            SweepSpec(
+                kind="io",
+                datasets=(dataset,),
+                codecs=codecs,
+                bounds=bounds,
+                cpus=(self.cpu_name,),
+                io_libraries=(self.io_library,),
+                include_baseline=True,
+            )
+        )
+        baseline = io_points[0]
+        serial_by = {(p.codec, p.rel_bound): p for p in serial_points}
+        io_by = {(p.codec, p.rel_bound): p for p in io_points[1:]}
         out = []
         for codec in codecs:
             for eps in bounds:
-                sp = tb.serial_point(dataset, codec, eps, self.cpu_name)
-                iop = tb.io_point(dataset, codec, eps, self.io_library, self.cpu_name)
+                sp = serial_by[(codec, float(eps))]
+                iop = io_by[(codec, float(eps))]
                 conditions = BenefitConditions(
                     compress_time_s=sp.compress_time_s,
                     write_time_compressed_s=iop.write_time_s,

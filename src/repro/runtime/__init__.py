@@ -1,0 +1,45 @@
+"""repro.runtime — the parallel sweep engine and memoizing result store.
+
+The runtime layer separates *what* an experiment grid is from *how* it is
+evaluated:
+
+- :class:`~repro.runtime.spec.SweepSpec` — a declarative, JSON-round-trip
+  grid over (datasets, codecs, error bounds, CPUs, I/O libraries);
+- :class:`~repro.runtime.store.ResultStore` — content-addressed
+  memoization of evaluated points, in memory and optionally on disk;
+- :class:`~repro.runtime.engine.SweepEngine` — expansion, deduplication,
+  and serial / thread-pool / process-pool execution with progress events.
+
+Every ``Testbed`` sweep driver and the ``TradeoffAnalyzer`` delegate here,
+so repeated points across figures are computed exactly once per store.
+See ``docs/user-guide/sweeps.md`` for a guided tour.
+"""
+
+from repro.runtime.engine import EXECUTORS, EngineStats, SweepEngine, SweepEvent
+from repro.runtime.spec import SWEEP_KINDS, GridPoint, SweepSpec
+from repro.runtime.store import (
+    CACHE_VERSION,
+    ResultStore,
+    decode_record,
+    default_store,
+    encode_record,
+    point_key,
+    testbed_fingerprint,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "EXECUTORS",
+    "SWEEP_KINDS",
+    "EngineStats",
+    "GridPoint",
+    "ResultStore",
+    "SweepEngine",
+    "SweepEvent",
+    "SweepSpec",
+    "decode_record",
+    "default_store",
+    "encode_record",
+    "point_key",
+    "testbed_fingerprint",
+]

@@ -1,0 +1,243 @@
+"""The parallel, memoizing sweep engine.
+
+:class:`SweepEngine` turns a :class:`~repro.runtime.spec.SweepSpec` into
+records: it expands the grid, answers every point it can from its
+:class:`~repro.runtime.store.ResultStore`, deduplicates the rest (two
+figures asking for the same point in one run still cost one evaluation),
+fans the remainder out over a serial loop, a thread pool, or a process
+pool, and returns records in the spec's deterministic order — identical to
+what the seed ``Testbed`` loops produced, whatever the executor.
+
+Process workers rebuild the testbed once per process from a picklable
+config and keep it in a module global keyed by the testbed fingerprint, so
+a long sweep pays the dataset-generation cost once per worker, not once
+per point.  Every substrate under the testbed is a deterministic
+simulation, which is what makes ``parallel == serial`` an equality, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.spec import GridPoint, SweepSpec
+from repro.runtime.store import ResultStore, default_store, point_key, testbed_fingerprint
+
+__all__ = ["SweepEvent", "EngineStats", "SweepEngine", "EXECUTORS"]
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One progress notification from a sweep run.
+
+    ``kind`` is ``"start"`` (total known), ``"point"`` (one record ready;
+    ``cached`` says whether it came from the store), or ``"finish"``.
+    """
+
+    kind: str
+    index: int = 0
+    total: int = 0
+    op: str = ""
+    key: str = ""
+    cached: bool = False
+
+
+@dataclass
+class EngineStats:
+    """Evaluation counters for one engine (cumulative across runs)."""
+
+    computed: int = 0
+    cache_hits: int = 0
+    runs: int = 0
+
+    def snapshot(self) -> dict:
+        return {"computed": self.computed, "cache_hits": self.cache_hits, "runs": self.runs}
+
+
+# -- process-pool plumbing ----------------------------------------------------
+
+#: Per-worker-process testbeds, keyed by fingerprint hash: rebuilt at most
+#: once per (process, testbed config), reused across all points.
+_WORKER_TESTBEDS: dict = {}
+
+
+def _build_testbed(config: dict):
+    from repro.core.experiments import Testbed
+
+    return Testbed(**config)
+
+
+def _evaluate_in_worker(config: dict, config_id: str, op: str, kwargs: dict):
+    """Module-level so ProcessPoolExecutor can pickle it by reference."""
+    testbed = _WORKER_TESTBEDS.get(config_id)
+    if testbed is None:
+        testbed = _build_testbed(config)
+        _WORKER_TESTBEDS[config_id] = testbed
+    return getattr(testbed, op)(**kwargs)
+
+
+class SweepEngine:
+    """Expand, memoize, and (optionally) parallelise testbed sweeps.
+
+    Parameters
+    ----------
+    testbed:
+        The :class:`~repro.core.experiments.Testbed` to evaluate points on;
+        a default bench-scale one is built when omitted.
+    store:
+        Result cache.  Defaults to the process-wide
+        :func:`~repro.runtime.store.default_store`, so every engine in a
+        session shares hits; pass a fresh :class:`ResultStore` (optionally
+        with ``cache_dir``) to isolate or persist.
+    executor:
+        ``"serial"`` (in-process loop), ``"thread"``, or ``"process"``.
+    max_workers:
+        Pool width for the parallel executors; default ``os.cpu_count()``.
+    on_event:
+        Optional callable receiving :class:`SweepEvent` progress updates.
+    """
+
+    def __init__(
+        self,
+        testbed=None,
+        store: ResultStore | None = None,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        on_event=None,
+    ):
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if testbed is None:
+            from repro.core.experiments import Testbed
+
+            testbed = Testbed()
+        self.testbed = testbed
+        self.store = store if store is not None else default_store()
+        self.executor = executor
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.on_event = on_event
+        self.stats = EngineStats()
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit(self, event: SweepEvent) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _key(self, point: GridPoint) -> str:
+        # The fingerprint is recomputed per lookup, not cached at engine
+        # construction: mutating the testbed (scale, models) between runs
+        # must change every key, never serve results for the old config.
+        return point_key(point.op, point.as_kwargs(), testbed_fingerprint(self.testbed))
+
+    def _compute_local(self, point: GridPoint):
+        return getattr(self.testbed, point.op)(**point.as_kwargs())
+
+    def _testbed_config(self) -> dict:
+        """Picklable kwargs that rebuild an equivalent testbed in a worker."""
+        tb = self.testbed
+        return {
+            "scale": tb.scale,
+            "pfs": tb.pfs,
+            "throughput": tb.throughput,
+            "sample_interval": tb.sample_interval,
+            "verify_bounds": tb.verify_bounds,
+        }
+
+    def _run_pool(self, pending: list[tuple[int, str, GridPoint]], total: int) -> dict:
+        """Evaluate deduplicated points on a pool; returns {key: record}."""
+        pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
+        computed: dict[str, object] = {}
+        config = self._testbed_config()
+        config_id = point_key("__testbed__", {}, testbed_fingerprint(self.testbed))
+        with pool_cls(max_workers=self.max_workers) as pool:
+            futures = {}
+            for index, key, point in pending:
+                if self.executor == "thread":
+                    fut = pool.submit(self._compute_local, point)
+                else:
+                    fut = pool.submit(
+                        _evaluate_in_worker, config, config_id, point.op, point.as_kwargs()
+                    )
+                futures[fut] = (index, key, point)
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, key, point = futures[fut]
+                    record = fut.result()  # re-raises worker exceptions
+                    computed[key] = record
+                    self.store.put(key, record)
+                    self.stats.computed += 1
+                    self._emit(
+                        SweepEvent("point", index=index, total=total, op=point.op, key=key)
+                    )
+        return computed
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, spec: SweepSpec) -> list:
+        """Evaluate every grid point of ``spec``; records in spec order."""
+        points = spec.points()
+        keys = [self._key(p) for p in points]
+        self.stats.runs += 1
+        self._emit(SweepEvent("start", total=len(points)))
+
+        results: dict[int, object] = {}
+        pending: list[tuple[int, str, GridPoint]] = []
+        scheduled: set[str] = set()
+        for i, (key, point) in enumerate(zip(keys, points)):
+            record = self.store.get(key)
+            if record is not None:
+                results[i] = record
+                self.stats.cache_hits += 1
+                self._emit(
+                    SweepEvent(
+                        "point", index=i, total=len(points), op=point.op, key=key, cached=True
+                    )
+                )
+            elif key not in scheduled:
+                scheduled.add(key)
+                pending.append((i, key, point))
+
+        if pending:
+            if self.executor == "serial" or len(pending) == 1:
+                computed = {}
+                for i, key, point in pending:
+                    record = self._compute_local(point)
+                    computed[key] = record
+                    self.store.put(key, record)
+                    self.stats.computed += 1
+                    self._emit(
+                        SweepEvent("point", index=i, total=len(points), op=point.op, key=key)
+                    )
+            else:
+                computed = self._run_pool(pending, total=len(points))
+            # Fill in every index, including within-run duplicates that
+            # aliased onto a single scheduled evaluation.
+            for i in range(len(points)):
+                if i not in results:
+                    results[i] = computed[keys[i]]
+
+        self._emit(SweepEvent("finish", total=len(points)))
+        return [results[i] for i in range(len(points))]
+
+    def evaluate(self, op: str, **kwargs):
+        """Single-point path: memoized lookup-or-compute for one operation."""
+        point = GridPoint.make(op, **kwargs)
+        key = self._key(point)
+        record = self.store.get(key)
+        if record is not None:
+            self.stats.cache_hits += 1
+            return record
+        record = self._compute_local(point)
+        self.store.put(key, record)
+        self.stats.computed += 1
+        return record

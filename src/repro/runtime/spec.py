@@ -1,0 +1,232 @@
+"""Declarative sweep specifications and their grid-point expansion.
+
+A :class:`SweepSpec` names *what* to evaluate — the (dataset, codec,
+error-bound, CPU, I/O-library) axes of one paper artifact — without saying
+*how*.  :meth:`SweepSpec.points` expands it into :class:`GridPoint` work
+items in a deterministic order that matches the seed ``Testbed`` drivers
+point for point, so the engine can fan the grid out over a pool, memoize
+each point, and still return records in the order every figure expects.
+
+Specs round-trip through JSON (``to_json``/``from_json``) so the same grid
+can be committed next to a benchmark, shipped to a worker, or fed to
+``repro sweep --spec grid.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GridPoint", "SweepSpec", "SWEEP_KINDS"]
+
+#: The supported grid shapes; each maps onto one seed ``Testbed`` driver.
+SWEEP_KINDS = ("serial", "thread", "quality", "io", "read", "lossless")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One unit of sweep work: a testbed operation plus its arguments.
+
+    ``op`` names a :class:`~repro.core.experiments.Testbed` method
+    (``roundtrip``, ``serial_point``, ``io_point``, ``read_point``); the
+    kwargs are stored as a sorted tuple of pairs so equal points compare
+    and hash equal regardless of keyword order.
+    """
+
+    op: str
+    kwargs: tuple[tuple[str, object], ...]
+
+    @classmethod
+    def make(cls, op: str, **kwargs) -> "GridPoint":
+        return cls(op=op, kwargs=tuple(sorted(kwargs.items())))
+
+    def as_kwargs(self) -> dict:
+        """The keyword arguments as a plain dict."""
+        return dict(self.kwargs)
+
+
+def _tuple(value, kind=None):
+    """Coerce a list/tuple (JSON gives lists) to a tuple, mapping ``kind``."""
+    if kind is None:
+        return tuple(value)
+    return tuple(kind(v) for v in value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid over the paper's experiment axes.
+
+    The defaults reproduce the full Figs. 5/7 serial grid; narrower specs
+    are built by overriding axes.  Fields that a kind does not use are
+    simply ignored by its expansion (e.g. ``io_libraries`` for a serial
+    sweep), so one spec type covers every driver.
+    """
+
+    kind: str = "serial"
+    datasets: tuple[str, ...] = ("cesm", "hacc", "nyx", "s3d")
+    codecs: tuple[str, ...] = ("sz2", "sz3", "zfp", "qoz", "szx")
+    bounds: tuple[float, ...] = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+    cpus: tuple[str, ...] = ("max9480",)
+    io_libraries: tuple[str, ...] = ("hdf5", "netcdf")
+    #: thread counts: ``threads[0]`` for serial grids, the full axis for
+    #: the Fig. 10 ``thread`` kind.
+    threads: tuple[int, ...] = (1,)
+    #: the single bound used by the ``thread`` and ``lossless`` kinds.
+    rel_bound: float = 1e-3
+    #: Fig. 1 lossless baselines (``lossless`` kind only).
+    lossless_codecs: tuple[str, ...] = ("zstd", "blosc", "fpzip", "fpc")
+    #: include the uncompressed write/read baseline (``io``/``read`` kinds).
+    include_baseline: bool = True
+    #: drop codec/ndim combos the paper's toolchain could not run
+    #: (``thread`` kind; see ``Testbed.run_thread_sweep``).
+    paper_fidelity: bool = False
+
+    def __post_init__(self):
+        if self.kind not in SWEEP_KINDS:
+            raise ConfigurationError(
+                f"unknown sweep kind {self.kind!r}; expected one of {SWEEP_KINDS}"
+            )
+        # JSON and CLI hand us lists; normalise every axis to a tuple so
+        # specs stay hashable and compare by value.
+        object.__setattr__(self, "datasets", _tuple(self.datasets, str))
+        object.__setattr__(self, "codecs", _tuple(self.codecs, str))
+        object.__setattr__(self, "bounds", _tuple(self.bounds, float))
+        object.__setattr__(self, "cpus", _tuple(self.cpus, str))
+        object.__setattr__(self, "io_libraries", _tuple(self.io_libraries, str))
+        object.__setattr__(self, "threads", _tuple(self.threads, int))
+        object.__setattr__(self, "lossless_codecs", _tuple(self.lossless_codecs, str))
+        object.__setattr__(self, "rel_bound", float(self.rel_bound))
+        if not self.threads:
+            raise ConfigurationError("threads axis must not be empty")
+
+    # -- expansion -----------------------------------------------------------
+
+    def points(self) -> list[GridPoint]:
+        """Expand to grid points, ordered exactly like the seed drivers."""
+        return getattr(self, f"_points_{self.kind}")()
+
+    def _points_serial(self) -> list[GridPoint]:
+        return [
+            GridPoint.make(
+                "serial_point",
+                dataset=ds,
+                codec=codec,
+                rel_bound=eps,
+                cpu_name=cpu,
+                threads=self.threads[0],
+            )
+            for cpu in self.cpus
+            for ds in self.datasets
+            for codec in self.codecs
+            for eps in self.bounds
+        ]
+
+    def _points_thread(self) -> list[GridPoint]:
+        from repro.compressors.capabilities import supported
+        from repro.data.registry import get_dataset
+
+        out = []
+        for cpu in self.cpus:
+            for ds in self.datasets:
+                ndim = len(get_dataset(ds).paper_shape)
+                for codec in self.codecs:
+                    if self.paper_fidelity and not supported(codec, ndim, "openmp"):
+                        continue
+                    for th in self.threads:
+                        out.append(
+                            GridPoint.make(
+                                "serial_point",
+                                dataset=ds,
+                                codec=codec,
+                                rel_bound=self.rel_bound,
+                                cpu_name=cpu,
+                                threads=th,
+                            )
+                        )
+        return out
+
+    def _points_quality(self) -> list[GridPoint]:
+        return [
+            GridPoint.make("roundtrip", dataset=ds, codec=codec, rel_bound=eps)
+            for ds in self.datasets
+            for eps in self.bounds
+            for codec in self.codecs
+        ]
+
+    def _points_lossless(self) -> list[GridPoint]:
+        out = []
+        for ds in self.datasets:
+            for codec in self.lossless_codecs:
+                out.append(
+                    GridPoint.make("roundtrip", dataset=ds, codec=codec, rel_bound=0.0)
+                )
+            for codec in self.codecs:
+                out.append(
+                    GridPoint.make(
+                        "roundtrip", dataset=ds, codec=codec, rel_bound=self.rel_bound
+                    )
+                )
+        return out
+
+    def _points_io(self, op: str = "io_point") -> list[GridPoint]:
+        out = []
+        for cpu in self.cpus:
+            for lib in self.io_libraries:
+                for ds in self.datasets:
+                    if self.include_baseline:
+                        out.append(
+                            GridPoint.make(
+                                op,
+                                dataset=ds,
+                                codec=None,
+                                rel_bound=None,
+                                io_library=lib,
+                                cpu_name=cpu,
+                            )
+                        )
+                    for codec in self.codecs:
+                        for eps in self.bounds:
+                            out.append(
+                                GridPoint.make(
+                                    op,
+                                    dataset=ds,
+                                    codec=codec,
+                                    rel_bound=eps,
+                                    io_library=lib,
+                                    cpu_name=cpu,
+                                )
+                            )
+        return out
+
+    def _points_read(self) -> list[GridPoint]:
+        return self._points_io(op="read_point")
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SweepSpec fields: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid sweep spec JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("sweep spec JSON must be an object")
+        return cls.from_dict(payload)

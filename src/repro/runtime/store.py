@@ -1,0 +1,234 @@
+"""Content-addressed memoization of sweep results.
+
+Every grid point is identified by a stable SHA-256 key over its operation,
+its parameters, and a fingerprint of the testbed configuration that would
+evaluate it.  The key is computed from canonical JSON (sorted keys, exact
+``repr``-round-trip floats), so the same point hashes identically in every
+process and on every platform running the same cache version — that is what
+lets a process pool share a cache with its parent and lets an on-disk cache
+survive between runs.
+
+:class:`ResultStore` layers an in-memory dict over an optional directory of
+one-JSON-file-per-key entries.  Records are the frozen dataclasses from
+:mod:`repro.core.experiments`, encoded with an explicit ``__record__`` type
+tag (nested records nest naturally).  A disk entry that fails to parse is
+treated as a miss and recomputed, never trusted.
+
+Cache invalidation: the key covers *parameters*, not *code*.  Changing the
+throughput calibration, a codec implementation, or a dataset generator
+changes what a point would produce without changing its key — bump
+:data:`CACHE_VERSION` (or clear the cache directory) when behaviour changes.
+See ``docs/user-guide/sweeps.md`` for the full caveats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+__all__ = [
+    "CACHE_VERSION",
+    "point_key",
+    "testbed_fingerprint",
+    "encode_record",
+    "decode_record",
+    "ResultStore",
+    "default_store",
+]
+
+#: Bump when record semantics or any model calibration changes meaning:
+#: old cache entries become unreachable rather than silently wrong.
+CACHE_VERSION = 1
+
+
+def _canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr-exact floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def testbed_fingerprint(testbed) -> dict:
+    """A JSON-safe digest of everything about a Testbed that shapes results.
+
+    Uses the ``repr`` of the PFS/throughput models (frozen dataclasses, so
+    their repr is a stable function of their parameters) rather than object
+    identity — two default-constructed testbeds fingerprint identically.
+    """
+    return {
+        "scale": testbed.scale,
+        "sample_interval": float(testbed.sample_interval),
+        "verify_bounds": bool(testbed.verify_bounds),
+        "pfs": repr(testbed.pfs),
+        "throughput": {
+            codec: repr(perf) for codec, perf in sorted(testbed.throughput.table.items())
+        },
+    }
+
+
+def point_key(op: str, params: dict, fingerprint: dict) -> str:
+    """Stable content hash of one grid point under one testbed config."""
+    blob = _canonical_json(
+        {
+            "version": CACHE_VERSION,
+            "op": op,
+            "params": params,
+            "testbed": fingerprint,
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- record (de)serialisation -------------------------------------------------
+
+
+def _record_types() -> dict:
+    # Imported lazily: core.experiments must stay importable without the
+    # runtime package (and vice versa at module-import time).
+    from repro.core.experiments import IOPoint, RoundtripRecord, SerialPoint
+
+    return {cls.__name__: cls for cls in (RoundtripRecord, SerialPoint, IOPoint)}
+
+
+def encode_record(record) -> dict:
+    """Encode a result dataclass (recursively) as a tagged JSON-safe dict."""
+    types = _record_types()
+    name = type(record).__name__
+    if name not in types:
+        raise TypeError(f"cannot encode {name!r}: not a registered sweep record")
+    payload = {"__record__": name}
+    for f in dataclasses.fields(record):
+        value = getattr(record, f.name)
+        if dataclasses.is_dataclass(value):
+            value = encode_record(value)
+        payload[f.name] = value
+    return payload
+
+
+def decode_record(payload: dict):
+    """Inverse of :func:`encode_record`."""
+    types = _record_types()
+    name = payload.get("__record__")
+    if name not in types:
+        raise ValueError(f"not a sweep record payload: {payload!r}")
+    kwargs = {}
+    for key, value in payload.items():
+        if key == "__record__":
+            continue
+        if isinstance(value, dict) and "__record__" in value:
+            value = decode_record(value)
+        kwargs[key] = value
+    return types[name](**kwargs)
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class ResultStore:
+    """In-memory + optional on-disk cache of evaluated grid points.
+
+    Thread-safe; every engine executor funnels through :meth:`get` /
+    :meth:`put`.  Statistics distinguish memory hits, disk hits (entry
+    parsed and promoted to memory), and misses.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self._mem: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def _disk_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached record for ``key``, or None (counted as a miss)."""
+        with self._lock:
+            if key in self._mem:
+                self.memory_hits += 1
+                return self._mem[key]
+        record = self._read_disk(key)
+        with self._lock:
+            if record is not None:
+                self.disk_hits += 1
+                self._mem[key] = record
+            else:
+                self.misses += 1
+        return record
+
+    def _read_disk(self, key: str):
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return decode_record(payload["record"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            # A corrupt or stale entry is a miss, never an error.
+            return None
+
+    def put(self, key: str, record) -> None:
+        """Insert a record; persists to disk when a cache_dir is set."""
+        with self._lock:
+            self._mem[key] = record
+        if self.cache_dir is None:
+            return
+        payload = {"version": CACHE_VERSION, "record": encode_record(record)}
+        path = self._disk_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)  # atomic: readers see old or new, never partial
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._mem:
+                return True
+        return self.cache_dir is not None and self._disk_path(key).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory layer; ``disk=True`` also deletes disk entries."""
+        with self._lock:
+            self._mem.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._mem),
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+            }
+
+
+_DEFAULT_STORE: ResultStore | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_store() -> ResultStore:
+    """The process-wide store shared by default-constructed engines.
+
+    One store per process means the uncompressed I/O baseline, the serial
+    points behind Figs. 5/7/8/9, and the Table-III round-trips are each
+    evaluated exactly once per session no matter how many drivers ask.
+    """
+    global _DEFAULT_STORE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_STORE is None:
+            _DEFAULT_STORE = ResultStore()
+        return _DEFAULT_STORE

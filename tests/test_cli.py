@@ -104,6 +104,72 @@ class TestAdvise:
         assert "uncompressed" in capsys.readouterr().out
 
 
+class TestSweep:
+    ARGS = [
+        "sweep", "--kind", "quality", "--datasets", "cesm",
+        "--codecs", "szx,sz3", "--bounds", "1e-2,1e-3", "--scale", "tiny",
+    ]
+
+    def test_quality_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "szx" in out and "sz3" in out and "ratio" in out
+        assert "4 points: 4 computed, 0 cached" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4
+        assert {r["__record__"] for r in records} == {"RoundtripRecord"}
+        assert {r["codec"] for r in records} == {"szx", "sz3"}
+
+    def test_json_output_is_strict_even_with_infinite_psnr(self, capsys):
+        import json
+
+        # Lossless round-trips have psnr_db = inf; the emitted JSON must
+        # stay RFC-valid (no bare Infinity tokens).
+        assert (
+            main(["sweep", "--kind", "lossless", "--datasets", "cesm",
+                  "--codecs", "sz2", "--scale", "tiny", "--json"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        records = json.loads(out, parse_constant=lambda c: pytest.fail(f"bare {c}"))
+        assert records[0]["psnr_db"] == "inf"
+
+    def test_spec_file_with_disk_cache_round_trip(self, tmp_path, capsys):
+        from repro.runtime.spec import SweepSpec
+
+        spec = SweepSpec(
+            kind="io", datasets=("cesm",), codecs=("szx",), bounds=(1e-3,),
+            io_libraries=("hdf5",),
+        )
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(spec.to_json())
+        cache = tmp_path / "cache"
+        args = ["sweep", "--spec", str(spec_path), "--scale", "tiny",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 computed" in first and "original" in first
+        # A second invocation answers the whole grid from the disk cache.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 computed" in second and "2 cached" in second
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+    def test_serial_kind_prints_energy_columns(self, capsys):
+        assert (
+            main(["sweep", "--kind", "serial", "--datasets", "cesm",
+                  "--codecs", "szx", "--bounds", "1e-3", "--scale", "tiny"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "E_comp [J]" in out and "max9480" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -112,3 +178,8 @@ class TestParser:
     def test_unknown_codec_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compress", "a", "b", "--codec", "nope"])
+
+    def test_help_epilog_mentions_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "repro sweep" in capsys.readouterr().out

@@ -1,0 +1,313 @@
+"""The sweep runtime: specs, stable keys, the store, and the engine.
+
+The load-bearing guarantees under test:
+
+- grid expansion matches the seed driver loops point for point;
+- point keys are stable — across keyword order, across processes — and
+  sensitive to every parameter and to the testbed fingerprint;
+- the store's hit/miss accounting and its disk layer round-trip records
+  exactly;
+- a parallel engine run produces records *equal* to the serial path; and
+- a repeated ``TradeoffAnalyzer.evaluate`` over a warm store performs zero
+  new testbed evaluations (the PR's acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.experiments import IOPoint, RoundtripRecord, SerialPoint, Testbed
+from repro.core.tradeoff import TradeoffAnalyzer
+from repro.errors import ConfigurationError
+from repro.runtime.engine import SweepEngine, SweepEvent
+from repro.runtime.spec import GridPoint, SweepSpec
+from repro.runtime.store import ResultStore, decode_record, encode_record
+from repro.runtime.store import point_key as _point_key
+from repro.runtime.store import testbed_fingerprint as _fingerprint
+
+SMALL = dict(datasets=("cesm",), codecs=("szx", "sz3"), bounds=(1e-2, 1e-3))
+
+
+@pytest.fixture(scope="module")
+def tiny_testbed():
+    return Testbed(scale="tiny")
+
+
+@pytest.fixture()
+def engine(tiny_testbed):
+    """A fresh engine per test: isolated store, isolated counters."""
+    return SweepEngine(testbed=tiny_testbed, store=ResultStore())
+
+
+class TestSweepSpec:
+    def test_serial_expansion_matches_seed_loop_order(self):
+        spec = SweepSpec(kind="serial", cpus=("max9480", "plat8160"), **SMALL)
+        points = spec.points()
+        expected = [
+            ("serial_point", cpu, ds, codec, eps)
+            for cpu in ("max9480", "plat8160")
+            for ds in SMALL["datasets"]
+            for codec in SMALL["codecs"]
+            for eps in SMALL["bounds"]
+        ]
+        got = [
+            (p.op, p.as_kwargs()["cpu_name"], p.as_kwargs()["dataset"],
+             p.as_kwargs()["codec"], p.as_kwargs()["rel_bound"])
+            for p in points
+        ]
+        assert got == expected
+
+    def test_io_expansion_baseline_first(self):
+        spec = SweepSpec(kind="io", io_libraries=("hdf5",), **SMALL)
+        points = spec.points()
+        first = points[0].as_kwargs()
+        assert first["codec"] is None and first["rel_bound"] is None
+        assert len(points) == 1 + 2 * 2
+        no_base = SweepSpec(kind="io", io_libraries=("hdf5",), include_baseline=False, **SMALL)
+        assert len(no_base.points()) == 4
+
+    def test_quality_and_lossless_kinds(self):
+        q = SweepSpec(kind="quality", **SMALL).points()
+        assert all(p.op == "roundtrip" for p in q)
+        ll = SweepSpec(
+            kind="lossless", datasets=("cesm",), codecs=("sz2",), lossless_codecs=("zstd",)
+        ).points()
+        assert [p.as_kwargs()["rel_bound"] for p in ll] == [0.0, 1e-3]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(kind="banana")
+
+    def test_json_round_trip(self):
+        spec = SweepSpec(kind="io", io_libraries=("netcdf",), **SMALL)
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"kind": "serial", "warp_factor": 9})
+
+    def test_lists_normalised_to_tuples(self):
+        spec = SweepSpec(kind="serial", datasets=["cesm"], bounds=[1e-3])
+        assert spec.datasets == ("cesm",) and spec.bounds == (1e-3,)
+
+
+class TestPointKey:
+    FP = {"scale": "tiny", "pfs": "PFSModel()"}
+
+    def test_keyword_order_irrelevant(self):
+        a = GridPoint.make("serial_point", dataset="cesm", codec="szx")
+        b = GridPoint.make("serial_point", codec="szx", dataset="cesm")
+        assert a == b
+        assert _point_key(a.op, a.as_kwargs(), self.FP) == _point_key(
+            b.op, b.as_kwargs(), self.FP
+        )
+
+    def test_sensitive_to_params_and_fingerprint(self):
+        base = _point_key("roundtrip", {"codec": "szx", "rel_bound": 1e-3}, self.FP)
+        assert base != _point_key("roundtrip", {"codec": "szx", "rel_bound": 1e-4}, self.FP)
+        assert base != _point_key("serial_point", {"codec": "szx", "rel_bound": 1e-3}, self.FP)
+        assert base != _point_key(
+            "roundtrip", {"codec": "szx", "rel_bound": 1e-3}, {**self.FP, "scale": "bench"}
+        )
+
+    def test_stable_across_process_boundaries(self, tiny_testbed):
+        """The same point hashes identically in a separate interpreter."""
+        fp = _fingerprint(tiny_testbed)
+        params = {"dataset": "cesm", "codec": "szx", "rel_bound": 1e-3}
+        local = _point_key("roundtrip", params, fp)
+        script = (
+            "import sys, json\n"
+            "from repro.core.experiments import Testbed\n"
+            "from repro.runtime.store import point_key, testbed_fingerprint\n"
+            "fp = testbed_fingerprint(Testbed(scale='tiny'))\n"
+            "params = json.loads(sys.argv[1])\n"
+            "print(point_key('roundtrip', params, fp))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(params)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == local
+
+    def test_fingerprint_ignores_object_identity(self):
+        assert _fingerprint(Testbed(scale="tiny")) == _fingerprint(
+            Testbed(scale="tiny")
+        )
+
+
+class TestResultStore:
+    REC = RoundtripRecord(
+        dataset="cesm", scale="tiny", codec="szx", rel_bound=1e-3, ratio=3.0,
+        psnr_db=70.0, autocorr=0.1, max_rel_err=9e-4, compressed_nbytes=10,
+        original_nbytes=30,
+    )
+
+    def test_hit_miss_accounting(self):
+        store = ResultStore()
+        assert store.get("k") is None
+        store.put("k", self.REC)
+        assert store.get("k") is self.REC
+        assert store.stats == {
+            "entries": 1, "memory_hits": 1, "disk_hits": 0, "misses": 1,
+        }
+
+    def test_encode_decode_nested(self):
+        sp = SerialPoint(
+            dataset="cesm", codec="szx", rel_bound=1e-3, cpu="max9480", threads=1,
+            compress_time_s=1.0, decompress_time_s=0.5, compress_energy_j=10.0,
+            decompress_energy_j=5.0, roundtrip=self.REC,
+        )
+        assert decode_record(encode_record(sp)) == sp
+
+    def test_disk_round_trip_and_promotion(self, tmp_path):
+        warm = ResultStore(cache_dir=tmp_path)
+        warm.put("k", self.REC)
+        cold = ResultStore(cache_dir=tmp_path)
+        got = cold.get("k")
+        assert got == self.REC
+        assert cold.stats["disk_hits"] == 1
+        # promoted: second read is a memory hit
+        cold.get("k")
+        assert cold.stats["memory_hits"] == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.get("bad") is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("k", self.REC)
+        store.clear(disk=True)
+        assert len(store) == 0
+        assert ResultStore(cache_dir=tmp_path).get("k") is None
+
+
+class TestSweepEngine:
+    def test_cache_hits_on_second_run(self, engine):
+        spec = SweepSpec(kind="serial", **SMALL)
+        first = engine.run(spec)
+        assert engine.stats.computed == 4
+        second = engine.run(spec)
+        assert second == first
+        assert engine.stats.computed == 4  # nothing new
+        assert engine.stats.cache_hits == 4
+
+    def test_within_run_deduplication(self, engine):
+        # Two specs' worth of identical points in one run: evaluated once.
+        spec = SweepSpec(kind="quality", datasets=("cesm", "cesm"),
+                         codecs=("szx",), bounds=(1e-3,))
+        records = engine.run(spec)
+        assert len(records) == 2 and records[0] == records[1]
+        assert engine.stats.computed == 1
+
+    def test_events_cover_every_point(self, tiny_testbed):
+        events: list[SweepEvent] = []
+        engine = SweepEngine(
+            testbed=tiny_testbed, store=ResultStore(), on_event=events.append
+        )
+        engine.run(SweepSpec(kind="serial", **SMALL))
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "start" and kinds[-1] == "finish"
+        assert sum(k == "point" for k in kinds) == 4
+
+    def test_thread_pool_equals_serial(self, tiny_testbed, engine):
+        spec = SweepSpec(kind="serial", **SMALL)
+        serial = engine.run(spec)
+        threaded = SweepEngine(
+            testbed=tiny_testbed, store=ResultStore(), executor="thread", max_workers=4
+        ).run(spec)
+        assert threaded == serial
+
+    def test_process_pool_equals_serial(self, tiny_testbed, engine):
+        spec = SweepSpec(kind="io", io_libraries=("hdf5",), **SMALL)
+        serial = engine.run(spec)
+        parallel_engine = SweepEngine(
+            testbed=Testbed(scale="tiny"),
+            store=ResultStore(),
+            executor="process",
+            max_workers=2,
+        )
+        parallel = parallel_engine.run(spec)
+        assert parallel == serial
+        assert parallel_engine.stats.computed == len(spec.points())
+
+    def test_disk_cache_survives_engines(self, tiny_testbed, tmp_path):
+        spec = SweepSpec(kind="quality", datasets=("cesm",), codecs=("szx",), bounds=(1e-3,))
+        first = SweepEngine(testbed=tiny_testbed, store=ResultStore(cache_dir=tmp_path))
+        records = first.run(spec)
+        fresh = SweepEngine(testbed=Testbed(scale="tiny"), store=ResultStore(cache_dir=tmp_path))
+        assert fresh.run(spec) == records
+        assert fresh.stats.computed == 0
+
+    def test_evaluate_single_point_memoized(self, engine):
+        a = engine.evaluate("roundtrip", dataset="cesm", codec="szx", rel_bound=1e-3)
+        b = engine.evaluate("roundtrip", dataset="cesm", codec="szx", rel_bound=1e-3)
+        assert a is b and engine.stats.computed == 1
+
+    def test_unknown_executor_rejected(self, tiny_testbed):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(testbed=tiny_testbed, executor="gpu")
+
+    def test_mutated_testbed_does_not_serve_stale_results(self):
+        # The seed drivers read testbed config at call time; the engine's
+        # keys must too, or a scale change would silently hit the old cache.
+        tb = Testbed(scale="tiny")
+        engine = SweepEngine(testbed=tb, store=ResultStore())
+        spec = SweepSpec(kind="quality", datasets=("cesm",), codecs=("szx",), bounds=(1e-3,))
+        tiny = engine.run(spec)[0]
+        tb.scale = "test"
+        test = engine.run(spec)[0]
+        assert engine.stats.computed == 2
+        assert test.scale == "test" and test != tiny
+
+    def test_pool_events_carry_total(self, tiny_testbed):
+        events = []
+        SweepEngine(
+            testbed=tiny_testbed, store=ResultStore(), executor="thread",
+            max_workers=2, on_event=events.append,
+        ).run(SweepSpec(kind="quality", datasets=("cesm",), codecs=("szx", "sz3"), bounds=(1e-2,)))
+        assert all(e.total == 2 for e in events if e.kind == "point")
+
+    def test_record_types(self, engine):
+        serial = engine.run(SweepSpec(kind="serial", datasets=("cesm",),
+                                      codecs=("szx",), bounds=(1e-3,)))
+        io = engine.run(SweepSpec(kind="io", datasets=("cesm",), codecs=("szx",),
+                                  bounds=(1e-3,), io_libraries=("hdf5",)))
+        assert isinstance(serial[0], SerialPoint)
+        assert isinstance(io[0], IOPoint) and io[0].codec is None
+
+
+class TestTradeoffAnalyzerMemoization:
+    def test_warm_store_means_zero_new_evaluations(self, tiny_testbed):
+        analyzer = TradeoffAnalyzer(
+            tiny_testbed,
+            engine=SweepEngine(testbed=tiny_testbed, store=ResultStore()),
+        )
+        grid = dict(codecs=("szx", "sz3"), bounds=(1e-2, 1e-3))
+        first = analyzer.evaluate("cesm", **grid)
+        computed_after_first = analyzer.engine.stats.computed
+        assert computed_after_first > 0
+        second = analyzer.evaluate("cesm", **grid)
+        assert analyzer.engine.stats.computed == computed_after_first
+        assert second == first
+
+    def test_shares_serial_points_with_testbed_sweeps(self, tiny_testbed):
+        engine = SweepEngine(testbed=tiny_testbed, store=ResultStore())
+        engine.run(SweepSpec(kind="serial", **SMALL))
+        baseline = engine.stats.computed
+        analyzer = TradeoffAnalyzer(tiny_testbed, engine=engine)
+        analyzer.evaluate("cesm", codecs=SMALL["codecs"], bounds=SMALL["bounds"])
+        # Only the I/O points (4 + baseline) are new; serial points all hit.
+        assert engine.stats.computed == baseline + 5

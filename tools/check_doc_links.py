@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Verify that every relative Markdown link in the repo resolves to a file.
+
+Scans all tracked-looking ``*.md`` files (skipping VCS/cache directories),
+extracts inline ``[text](target)`` links, and checks that non-URL targets
+exist relative to the file containing them. Anchors (``#section``) and
+external schemes (http/https/mailto) are ignored. Exits non-zero listing
+every broken link — this is the CI docs link-check step.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".pytest_cache", ".hypothesis", ".benchmarks", "__pycache__", "node_modules"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check(root: Path) -> list[str]:
+    errors = []
+    for md in iter_markdown(root):
+        for target in LINK_RE.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    errors = check(root)
+    for line in errors:
+        print(line, file=sys.stderr)
+    n = sum(1 for _ in iter_markdown(root))
+    print(f"checked {n} markdown files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
