@@ -2,7 +2,11 @@
 
 Unlike the figure benches (virtual-testbed energies), these measure the
 actual Python codec kernels so performance regressions in this repository
-are visible.  Sizes are small; the point is relative movement over time.
+are visible.  The per-kernel cases are driven by the same
+:mod:`repro.runtime.benchmark` specs that back ``repro bench kernels`` and
+``BENCH_kernels.json``, so pytest-benchmark and the CLI harness always time
+the same code paths on the same representative quantizer-code streams.
+Sizes are small; the point is relative movement over time.
 """
 
 import numpy as np
@@ -10,6 +14,7 @@ import pytest
 
 from repro.compressors import get_compressor
 from repro.data import generate
+from repro.runtime.benchmark import KERNELS, SYNTHETIC_DATASET, kernel_inputs
 
 CODECS = ("sz2", "sz3", "qoz", "zfp", "szx")
 
@@ -31,12 +36,18 @@ def test_kernel_decompress_nyx(benchmark, codec):
     assert rec.shape == data.shape
 
 
-def test_kernel_huffman_encode(benchmark, rng=np.random.default_rng(0)):
-    syms = rng.geometric(0.3, size=200_000).astype(np.int64)
-    from repro.compressors.huffman import huffman_encode
-
-    blob = benchmark(huffman_encode, syms)
-    assert len(blob) > 0
+@pytest.mark.parametrize("spec", KERNELS, ids=lambda s: s.name)
+@pytest.mark.parametrize("dataset", ("nyx", SYNTHETIC_DATASET))
+def test_kernel_spec(benchmark, spec, dataset):
+    """Every harness kernel on a representative quantizer-code stream."""
+    inputs = kernel_inputs(dataset, target_symbols=1 << 17, scale="test")
+    prepared = spec.prepare(inputs)
+    if prepared is None:
+        pytest.skip(f"{spec.name} does not apply to {dataset}")
+    fn, n_symbols, _ = prepared
+    result = benchmark(fn)
+    assert result is not None
+    assert n_symbols > 0
 
 
 def test_kernel_pfs_solver(benchmark):

@@ -162,6 +162,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit records as a JSON array instead of a table",
     )
 
+    p = sub.add_parser(
+        "bench",
+        help="run repository micro-benchmarks (kernel perf trajectory)",
+        description="Time the hot entropy/bitstream kernels on representative "
+        "quantizer-code streams, write BENCH_kernels.json, and report the "
+        "delta against the previous run.",
+    )
+    p.add_argument("suite", choices=("kernels",), help="benchmark suite to run")
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small inputs, one repeat (CI smoke mode)",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_kernels.json",
+        help="result JSON path (previous contents become the comparison base)",
+    )
+    p.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated dataset streams (default: cesm,nyx,hacc,synthetic-1m)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per kernel (best-of)"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the result document as JSON on stdout",
+    )
+
     sub.add_parser("datasets", help="list the dataset catalogue (Table II)")
     sub.add_parser("cpus", help="list the CPU catalogue (Table I)")
     sub.add_parser("codecs", help="list registered compressors")
@@ -343,6 +375,25 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json as _json
+
+    from repro.runtime.benchmark import run_and_report
+
+    datasets = (
+        tuple(d for d in args.datasets.split(",") if d) if args.datasets else None
+    )
+    doc = run_and_report(
+        args.output,
+        datasets=datasets,
+        quick=args.quick,
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(_json.dumps(doc, indent=2))
+    return 0
+
+
 def _cmd_datasets(args) -> int:
     from repro.data.registry import DATASETS
 
@@ -388,6 +439,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "advise": _cmd_advise,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "datasets": _cmd_datasets,
     "cpus": _cmd_cpus,
     "codecs": _cmd_codecs,

@@ -1,16 +1,20 @@
-"""Bit-level stream I/O backed by NumPy.
+"""Bit-level stream I/O backed by NumPy, word-at-a-time.
 
 The SZ-family codecs need two access patterns:
 
 - **Vectorized packing** of many variable-width fields at once (Huffman codes,
-  truncated mantissas).  :func:`pack_bits` / :func:`unpack_bits` handle that in
-  O(distinct widths) NumPy passes instead of a per-symbol Python loop.
+  truncated mantissas).  :func:`pack_bits` / :func:`unpack_bits` shift-and-or
+  every field directly into/out of ``uint64`` words — no one-byte-per-bit
+  intermediate — so both directions are a handful of O(n) NumPy passes.
 - **Sequential access** for the ZFP bitplane coder whose control flow is
   data-dependent.  :class:`BitWriter` / :class:`BitReader` provide a compact
-  MSB-first stream with ``write_bit``/``write_bits``/``read_bit``/``read_bits``.
+  MSB-first stream with ``write_bit``/``write_bits``/``read_bit``/``read_bits``
+  plus batch variants ``write_many``/``read_many`` that reuse the vectorized
+  word kernels for runs of fields with known widths.
 
 Bit order is MSB-first within each byte for both paths, so the two interfaces
-can read each other's output.
+can read each other's output; the on-disk byte format is unchanged from the
+original per-bit implementation.
 """
 
 from __future__ import annotations
@@ -20,6 +24,94 @@ import numpy as np
 from repro.errors import DecompressionError
 
 __all__ = ["BitWriter", "BitReader", "pack_bits", "unpack_bits"]
+
+_U64 = np.uint64
+_ZERO = np.uint64(0)
+_SIXTYFOUR = np.uint64(64)
+_MASK6 = np.uint64(63)
+
+
+def _check_widths(widths: np.ndarray) -> None:
+    if widths.size and (widths.min() < 0 or widths.max() > 64):
+        raise ValueError("bit widths must be in [0, 64]")
+
+
+def _mask_to_width(values: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Drop bits above each field's declared width (oversized inputs must not
+    bleed into neighbouring fields; the bit-scatter implementation did this
+    per bit)."""
+    wu = widths.astype(_U64)
+    return np.where(widths >= 64, values, values & ((_U64(1) << wu) - _U64(1)))
+
+
+def _pack_to_words(values: np.ndarray, widths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Shift-and-or MSB-first fields into big-bit-order ``uint64`` words.
+
+    Word ``bit 63`` is the first bit of the stream chunk the word covers, so
+    serializing the words big-endian yields the MSB-first byte stream.
+    Returns ``(words, total_bits)``; the word array carries one padding word.
+    """
+    total_bits = int(widths.sum())
+    n_words = (total_bits + 63) // 64 + 1
+    words = np.zeros(n_words, dtype=_U64)
+    if total_bits == 0:
+        return words, 0
+
+    nz = widths > 0
+    w = widths[nz].astype(_U64)
+    v = values[nz]
+    ends = np.cumsum(widths[nz])
+    starts = (ends - widths[nz]).astype(np.int64)
+
+    wi = starts >> 6
+    off = (starts & 63).astype(_U64)
+    spill = (off + w) > _SIXTYFOUR
+
+    # High part: the bits of the field that land in word `wi`.
+    sh_left = np.where(spill, _ZERO, (_SIXTYFOUR - off - w) & _MASK6)
+    sh_right = np.where(spill, off + w - _SIXTYFOUR, _ZERO)
+    hi = np.where(spill, v >> sh_right, v << sh_left)
+    # Low part: spill-over bits into word `wi + 1`.
+    sh_lo = np.where(spill, (np.uint64(128) - off - w) & _MASK6, _ZERO)
+    lo = np.where(spill, v << sh_lo, _ZERO)
+
+    # `starts` is non-decreasing, so fields sharing a word are contiguous:
+    # one bitwise-or segment reduction per distinct word index.
+    seg = np.flatnonzero(np.diff(wi)) + 1
+    seg = np.concatenate(([0], seg))
+    words[wi[seg]] |= np.bitwise_or.reduceat(hi, seg)
+
+    if spill.any():
+        wj = wi[spill] + 1
+        lo = lo[spill]
+        seg = np.flatnonzero(np.diff(wj)) + 1
+        seg = np.concatenate(([0], seg))
+        words[wj[seg]] |= np.bitwise_or.reduceat(lo, seg)
+    return words, total_bits
+
+
+def _words_from_bytes(data: bytes) -> np.ndarray:
+    """Big-bit-order ``uint64`` view of an MSB-first byte stream.
+
+    Two zero words of padding guarantee windowed gathers may touch
+    ``wi + 1`` for any in-range bit offset, including on an empty stream.
+    """
+    pad = (-len(data)) % 8 + 16
+    return np.frombuffer(data + b"\x00" * pad, dtype=">u8").astype(_U64, copy=False)
+
+
+def _gather_fields(
+    words: np.ndarray, starts: np.ndarray, widths: np.ndarray
+) -> np.ndarray:
+    """Read ``widths[i]`` bits at absolute bit offset ``starts[i]`` for all i."""
+    w = widths.astype(_U64)
+    starts = np.where(widths > 0, starts, 0)
+    wi = starts >> 6
+    off = (starts & 63).astype(_U64)
+    hi = words[wi] << off
+    lo = np.where(off > _ZERO, words[wi + 1] >> ((_SIXTYFOUR - off) & _MASK6), _ZERO)
+    window = hi | lo
+    return np.where(widths > 0, window >> ((_SIXTYFOUR - w) & _MASK6), _ZERO)
 
 
 def pack_bits(values: np.ndarray, widths: np.ndarray) -> bytes:
@@ -39,35 +131,17 @@ def pack_bits(values: np.ndarray, widths: np.ndarray) -> bytes:
     bytes
         The packed stream, padded with zero bits to a byte boundary.
     """
-    values = np.asarray(values, dtype=np.uint64)
+    values = np.asarray(values, dtype=_U64)
     widths = np.asarray(widths, dtype=np.int64)
     if values.shape != widths.shape:
         raise ValueError("values and widths must have the same shape")
     if values.size == 0:
         return b""
-    if widths.min() < 0 or widths.max() > 64:
-        raise ValueError("bit widths must be in [0, 64]")
-
-    total_bits = int(widths.sum())
+    _check_widths(widths)
+    words, total_bits = _pack_to_words(_mask_to_width(values, widths), widths)
     if total_bits == 0:
         return b""
-    bits = np.zeros(total_bits, dtype=np.uint8)
-    # Start offset of each value's field in the bit array.
-    starts = np.concatenate(([0], np.cumsum(widths)[:-1]))
-    # One vectorized scatter per distinct width: for width w, bit j of the
-    # field (MSB-first) is (value >> (w - 1 - j)) & 1.
-    for w in np.unique(widths):
-        w = int(w)
-        if w == 0:
-            continue
-        sel = widths == w
-        vals = values[sel]
-        field_starts = starts[sel]
-        shifts = np.arange(w - 1, -1, -1, dtype=np.uint64)
-        field_bits = (vals[:, None] >> shifts[None, :]) & np.uint64(1)
-        idx = field_starts[:, None] + np.arange(w, dtype=np.int64)[None, :]
-        bits[idx.ravel()] = field_bits.astype(np.uint8).ravel()
-    return np.packbits(bits).tobytes()
+    return words.astype(">u8").tobytes()[: (total_bits + 7) // 8]
 
 
 def unpack_bits(data: bytes, widths: np.ndarray) -> np.ndarray:
@@ -77,28 +151,17 @@ def unpack_bits(data: bytes, widths: np.ndarray) -> np.ndarray:
     """
     widths = np.asarray(widths, dtype=np.int64)
     if widths.size == 0:
-        return np.zeros(0, dtype=np.uint64)
-    if widths.min() < 0 or widths.max() > 64:
-        raise ValueError("bit widths must be in [0, 64]")
+        return np.zeros(0, dtype=_U64)
+    _check_widths(widths)
     total_bits = int(widths.sum())
-    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
-    if bits.size < total_bits:
+    avail = 8 * len(data)
+    if avail < total_bits:
         raise DecompressionError(
-            f"bit stream too short: need {total_bits} bits, have {bits.size}"
+            f"bit stream too short: need {total_bits} bits, have {avail}"
         )
-    starts = np.concatenate(([0], np.cumsum(widths)[:-1]))
-    out = np.zeros(widths.size, dtype=np.uint64)
-    for w in np.unique(widths):
-        w = int(w)
-        if w == 0:
-            continue
-        sel = widths == w
-        field_starts = starts[sel]
-        idx = field_starts[:, None] + np.arange(w, dtype=np.int64)[None, :]
-        field_bits = bits[idx.ravel()].reshape(-1, w).astype(np.uint64)
-        shifts = np.arange(w - 1, -1, -1, dtype=np.uint64)
-        out[sel] = (field_bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
-    return out
+    ends = np.cumsum(widths)
+    starts = ends - widths
+    return _gather_fields(_words_from_bytes(data), starts, widths)
 
 
 class BitWriter:
@@ -107,7 +170,8 @@ class BitWriter:
     Bits are accumulated in a Python integer window and flushed to a
     ``bytearray`` in 8-bit groups; this keeps single-bit writes cheap enough
     for the ZFP group-testing coder while remaining exactly byte-compatible
-    with :func:`pack_bits`.
+    with :func:`pack_bits`.  Runs of fields with known widths should go
+    through :meth:`write_many`, which packs whole words vectorized.
     """
 
     def __init__(self) -> None:
@@ -138,6 +202,34 @@ class BitWriter:
             self._buf.append((self._acc >> self._nacc) & 0xFF)
         self._acc &= (1 << self._nacc) - 1
 
+    def write_many(self, values: np.ndarray, widths: np.ndarray) -> None:
+        """Append ``len(values)`` fields in one vectorized pass.
+
+        Equivalent to ``for v, w in zip(values, widths): self.write_bits(v, w)``
+        but packed word-at-a-time; widths must be in ``[0, 64]``.
+        """
+        values = np.asarray(values, dtype=_U64)
+        widths = np.asarray(widths, dtype=np.int64)
+        if values.shape != widths.shape:
+            raise ValueError("values and widths must have the same shape")
+        if values.size == 0:
+            return
+        _check_widths(widths)
+        # Prepend the partial accumulator as field 0 so the packed stream is
+        # already aligned with the flushed byte buffer.
+        all_values = np.concatenate(([np.uint64(self._acc)], values))
+        all_widths = np.concatenate(([self._nacc], widths))
+        words, total_bits = _pack_to_words(
+            _mask_to_width(all_values, all_widths), all_widths
+        )
+        if total_bits == 0:
+            return
+        packed = words.astype(">u8").tobytes()
+        full, rem = divmod(total_bits, 8)
+        self._buf += packed[:full]
+        self._acc = packed[full] >> (8 - rem) if rem else 0
+        self._nacc = rem
+
     @property
     def bit_length(self) -> int:
         """Total number of bits written so far."""
@@ -156,11 +248,17 @@ class BitReader:
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0  # absolute bit position
+        self._words: np.ndarray | None = None  # lazy word view for read_many
 
     @property
     def bit_position(self) -> int:
         """Current absolute bit offset from the start of the buffer."""
         return self._pos
+
+    @property
+    def bit_size(self) -> int:
+        """Total number of bits in the underlying buffer."""
+        return 8 * len(self._data)
 
     def seek_bit(self, position: int) -> None:
         """Jump to an absolute bit offset."""
@@ -196,4 +294,26 @@ class BitReader:
             pos += take
             remaining -= take
         self._pos = pos
+        return out
+
+    def read_many(self, widths: np.ndarray) -> np.ndarray:
+        """Read ``len(widths)`` consecutive fields in one vectorized gather.
+
+        Equivalent to ``np.array([self.read_bits(w) for w in widths])`` but
+        word-at-a-time; returns ``uint64`` and advances the bit position.
+        """
+        widths = np.asarray(widths, dtype=np.int64)
+        if widths.size == 0:
+            return np.zeros(0, dtype=_U64)
+        _check_widths(widths)
+        total_bits = int(widths.sum())
+        end = self._pos + total_bits
+        if end > 8 * len(self._data):
+            raise DecompressionError("bit stream exhausted")
+        if self._words is None:
+            self._words = _words_from_bytes(self._data)
+        ends = np.cumsum(widths)
+        starts = self._pos + (ends - widths)
+        out = _gather_fields(self._words, starts, widths)
+        self._pos = end
         return out

@@ -8,13 +8,16 @@ DEFLATE pass.  This module implements a canonical Huffman code:
   length-limiting adjustment (rarely triggered for quantization data),
 - a compact header storing only the symbol list and code lengths,
 - vectorized encoding through :func:`repro.compressors.bitstream.pack_bits`,
-- table-accelerated decoding (single :data:`PEEK_BITS`-bit lookup for short
-  codes, canonical first-code search for long ones).
+- fully vectorized decoding: a :data:`PEEK_BITS`-bit window is gathered at
+  *every* candidate bit offset of the word-packed payload, decoded
+  speculatively through the lookup table (with a per-length canonical search
+  for the rare codes longer than :data:`PEEK_BITS`), and the true symbol
+  boundaries are then recovered by pointer-doubling over the resulting
+  offset-successor array.
 
-Encoding of ``n`` symbols costs O(n) NumPy work plus O(distinct lengths)
-passes; decoding is a tight per-symbol loop over a 4096-entry lookup table,
-which is the best pure-Python trade-off for the array sizes this package
-processes.
+Both directions are O(n) NumPy passes (decode adds a log₂(n) factor for the
+pointer doubling); no per-symbol Python loop remains on either path.  The
+byte format is identical to the original per-symbol implementation.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ import struct
 
 import numpy as np
 
-from repro.compressors.bitstream import pack_bits
+from repro.compressors.bitstream import _words_from_bytes, pack_bits
 from repro.errors import DecompressionError
 
 __all__ = ["HuffmanCodec", "huffman_encode", "huffman_decode"]
@@ -82,20 +85,57 @@ def _kraft(lengths: np.ndarray) -> float:
 
 
 def _canonical_codes(symbols: np.ndarray, lengths: np.ndarray):
-    """Assign canonical codes: sort by (length, symbol), count upward."""
+    """Assign canonical codes: sort by (length, symbol), count upward.
+
+    Vectorized: within one length run the codes are ``first_code + rank``;
+    across lengths the canonical recurrence ``first <<= (len - prev_len)``
+    only needs one Python iteration per *distinct* length (≤ 32).
+    """
     order = np.lexsort((symbols, lengths))
     sorted_syms = symbols[order]
     sorted_lens = lengths[order]
     codes = np.zeros(symbols.size, dtype=np.uint64)
-    code = 0
-    prev_len = int(sorted_lens[0]) if symbols.size else 0
-    for i in range(symbols.size):
-        ln = int(sorted_lens[i])
-        code <<= ln - prev_len
-        codes[i] = code
-        code += 1
+    if symbols.size == 0:
+        return sorted_syms, sorted_lens, codes
+    distinct, run_start, run_count = np.unique(
+        sorted_lens, return_index=True, return_counts=True
+    )
+    first = 0
+    prev_len = int(distinct[0])
+    first_codes = np.zeros(distinct.size, dtype=np.uint64)
+    for j in range(distinct.size):
+        ln = int(distinct[j])
+        first <<= ln - prev_len
+        first_codes[j] = first
+        first += int(run_count[j])
         prev_len = ln
+    rank = np.arange(symbols.size, dtype=np.uint64) - run_start.astype(np.uint64).repeat(
+        run_count
+    )
+    codes = first_codes.repeat(run_count) + rank
     return sorted_syms, sorted_lens, codes
+
+
+def _build_peek_table(
+    sorted_lens: np.ndarray, codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """PEEK_BITS-bit prefix -> (sorted-symbol index, code length) for short codes.
+
+    Unfilled entries (long-code prefixes) keep index -1 / length 0.
+    """
+    table_idx = np.full(1 << PEEK_BITS, -1, dtype=np.int32)
+    table_len = np.zeros(1 << PEEK_BITS, dtype=np.int8)
+    for ln in np.unique(sorted_lens):
+        ln = int(ln)
+        if ln <= 0 or ln > PEEK_BITS:
+            continue
+        sel = np.flatnonzero(sorted_lens == ln)
+        span = 1 << (PEEK_BITS - ln)
+        base = (codes[sel].astype(np.int64) << (PEEK_BITS - ln))[:, None]
+        idx = (base + np.arange(span, dtype=np.int64)[None, :]).ravel()
+        table_idx[idx] = np.repeat(sel.astype(np.int32), span)
+        table_len[idx] = ln
+    return table_idx, table_len
 
 
 class HuffmanCodec:
@@ -122,8 +162,7 @@ class HuffmanCodec:
         if values.size == 1:
             # Degenerate alphabet: the count alone reconstructs the stream.
             header = _HEADER.pack(n, 1, 0)
-            table = values.astype(np.uint64).tobytes() + b"\x01"
-            return header + table
+            return b"".join((header, values.astype(np.uint64).tobytes(), b"\x01"))
         freqs = counts.astype(np.int64)
         lengths = _code_lengths(freqs)
         sorted_syms, sorted_lens, codes = _canonical_codes(
@@ -135,12 +174,19 @@ class HuffmanCodec:
         sym_code[sorted_syms] = codes
         sym_len[sorted_syms] = sorted_lens
 
-        payload = pack_bits(sym_code[inverse], sym_len[inverse])
-        payload_bits = int(sym_len[inverse].sum())
+        stream_lens = sym_len[inverse]
+        payload = pack_bits(sym_code[inverse], stream_lens)
+        payload_bits = int(stream_lens.sum())
 
         header = _HEADER.pack(n, values.size, payload_bits)
-        table = values.astype(np.uint64).tobytes() + sym_len.astype(np.uint8).tobytes()
-        return header + table + payload
+        return b"".join(
+            (
+                header,
+                values.astype(np.uint64).tobytes(),
+                sym_len.astype(np.uint8).tobytes(),
+                payload,
+            )
+        )
 
     def decode(self, data: bytes) -> np.ndarray:
         """Decode a stream produced by :meth:`encode` (returns ``int64``)."""
@@ -159,84 +205,115 @@ class HuffmanCodec:
             data, dtype=np.uint8, count=n_distinct, offset=off
         ).astype(np.int64)
         off += n_distinct
+        if lengths.size and lengths.max() > MAX_CODE_LENGTH:
+            raise DecompressionError(
+                f"huffman code length {int(lengths.max())} exceeds "
+                f"MAX_CODE_LENGTH={MAX_CODE_LENGTH}"
+            )
 
         if n_distinct == 1:
             return np.full(n, int(values[0]), dtype=np.int64)
+
+        # Untrusted table: every symbol needs a code, and the lengths must
+        # satisfy the Kraft inequality or the canonical code space overflows
+        # (which would corrupt the decode tables rather than fail cleanly).
+        if (lengths < 1).any() or _kraft(lengths) > 1.0:
+            raise DecompressionError("invalid huffman code-length table")
+        # Every symbol consumes at least one payload bit, so a symbol count
+        # beyond payload_bits is corrupt; reject it before sizing the chain.
+        if n > payload_bits:
+            raise DecompressionError(
+                f"huffman symbol count {n} exceeds payload capacity {payload_bits}"
+            )
 
         sorted_idx, sorted_lens, codes = _canonical_codes(
             np.arange(n_distinct), lengths
         )
         sorted_values = values[sorted_idx].astype(np.int64)
 
-        # Fast path table: PEEK_BITS-bit prefix -> (value, length) for short codes.
-        table_val = np.full(1 << PEEK_BITS, -1, dtype=np.int64)
-        table_len = np.zeros(1 << PEEK_BITS, dtype=np.int64)
-        for i in range(n_distinct):
-            ln = int(sorted_lens[i])
-            if ln <= PEEK_BITS:
-                base = int(codes[i]) << (PEEK_BITS - ln)
-                span = 1 << (PEEK_BITS - ln)
-                table_val[base : base + span] = sorted_values[i]
-                table_len[base : base + span] = ln
-        # Canonical decode bounds for the slow path (codes longer than PEEK_BITS).
-        first_code = {}
-        first_index = {}
-        count_by_len = {}
-        for i in range(n_distinct):
-            ln = int(sorted_lens[i])
-            if ln not in first_code:
-                first_code[ln] = int(codes[i])
-                first_index[ln] = i
-                count_by_len[ln] = 0
-            count_by_len[ln] += 1
-
-        # Pack payload bits into one big integer for O(1) windowed peeks.
-        stream = int.from_bytes(data[off:], "big")
-        total_bits = 8 * (len(data) - off)
+        payload = data[off:]
+        total_bits = 8 * len(payload)
         if total_bits < payload_bits:
             raise DecompressionError("huffman payload truncated")
 
-        out = np.empty(n, dtype=np.int64)
-        pos = 0
-        tv = table_val
-        tl = table_len
-        for i in range(n):
-            if pos + PEEK_BITS <= total_bits:
-                window = (stream >> (total_bits - pos - PEEK_BITS)) & (
-                    (1 << PEEK_BITS) - 1
+        # Speculative decode at *every* bit offset: gather a 64-bit window
+        # per offset from the word-packed payload, classify the top
+        # PEEK_BITS through the lookup table, and resolve the rare long-code
+        # escapes with a vectorized per-length canonical search.
+        table_idx, table_len = _build_peek_table(sorted_lens, codes)
+        words = _words_from_bytes(payload)
+        pos = np.arange(total_bits, dtype=np.int64)
+        wi = pos >> 6
+        boff = (pos & 63).astype(np.uint64)
+        win64 = words[wi] << boff
+        np.bitwise_or(
+            win64,
+            np.where(
+                boff > 0,
+                words[wi + 1] >> ((np.uint64(64) - boff) & np.uint64(63)),
+                np.uint64(0),
+            ),
+            out=win64,
+        )
+        peek = (win64 >> np.uint64(64 - PEEK_BITS)).astype(np.int64)
+        idx_at = table_idx[peek]
+        len_at = table_len[peek].astype(np.int64)
+
+        escapes = np.flatnonzero(idx_at < 0)
+        if escapes.size:
+            # Ascending-length first-match mirrors the scalar slow path.
+            esc_win = win64[escapes]
+            unresolved = np.ones(escapes.size, dtype=bool)
+            for ln in np.unique(sorted_lens):
+                ln = int(ln)
+                if ln <= PEEK_BITS or ln > MAX_CODE_LENGTH:
+                    continue
+                lo = int(np.searchsorted(sorted_lens, ln, side="left"))
+                hi = int(np.searchsorted(sorted_lens, ln, side="right"))
+                cand = np.flatnonzero(unresolved)
+                if cand.size == 0:
+                    break
+                code = (esc_win[cand] >> np.uint64(64 - ln)).astype(np.int64)
+                delta = code - int(codes[lo])
+                ok = (
+                    (delta >= 0)
+                    & (delta < hi - lo)
+                    & (escapes[cand] + ln <= total_bits)
                 )
-            else:
-                avail = total_bits - pos
-                if avail <= 0:
-                    raise DecompressionError("huffman payload exhausted")
-                window = (stream & ((1 << avail) - 1)) << (PEEK_BITS - avail)
-            val = tv[window]
-            if val >= 0:
-                out[i] = val
-                # Keep `pos` a Python int: numpy int64 would poison the
-                # arbitrary-precision shifts on `stream`.
-                pos += int(tl[window])
-                continue
-            # Slow path: canonical search over lengths > PEEK_BITS.  Short
-            # lengths cannot match here: any short code that prefixes this
-            # window would have populated the lookup table.
-            ln = PEEK_BITS
-            while True:
-                ln += 1
-                if pos + ln > total_bits or ln > MAX_CODE_LENGTH:
-                    raise DecompressionError("invalid huffman code")
-                code = (stream >> (total_bits - pos - ln)) & ((1 << ln) - 1)
-                if ln in first_code:
-                    offset = code - first_code[ln]
-                    if 0 <= offset < count_by_len[ln]:
-                        out[i] = sorted_values[first_index[ln] + offset]
-                        pos += ln
-                        break
-        if pos != payload_bits:
+                hit = cand[ok]
+                idx_at[escapes[hit]] = (lo + delta[ok]).astype(np.int32)
+                len_at[escapes[hit]] = ln
+                unresolved[hit] = False
+
+        # Offset-successor chain: position -> position of the next symbol.
+        # Invalid offsets jump to the absorbing sentinel `total_bits`.
+        nxt = np.where(idx_at >= 0, np.minimum(pos + len_at, total_bits), total_bits)
+        nxt = np.append(nxt, total_bits)
+        idx_at = np.append(idx_at, np.int32(-1))
+        len_at = np.append(len_at, 0)
+
+        # Pointer doubling: `adv` advances m symbols at once, so each round
+        # doubles the known prefix of the symbol-boundary chain.
+        chain = np.zeros(1, dtype=np.int64)
+        adv = nxt
+        m = 1
+        while m < n:
+            chain = np.concatenate((chain, adv[chain]))[:n]
+            m = min(2 * m, n)
+            if m >= n:
+                break
+            adv = adv[adv]
+
+        sym_indices = idx_at[chain]
+        if (sym_indices < 0).any():
+            raise DecompressionError("invalid huffman code or exhausted payload")
+        consumed = int(chain[-1]) + int(len_at[chain[-1]])
+        if consumed != payload_bits:
             raise DecompressionError(
-                f"huffman payload length mismatch: consumed {pos}, expected {payload_bits}"
+                f"huffman payload length mismatch: consumed {consumed}, "
+                f"expected {payload_bits}"
             )
-        return out
+        return sorted_values[sym_indices]
 
 
 _DEFAULT = HuffmanCodec()

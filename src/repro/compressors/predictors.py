@@ -170,11 +170,9 @@ def estimate_lorenzo_error(blocks: np.ndarray) -> np.ndarray:
     terms = _LORENZO_TERMS[ndim]
     pred = np.zeros_like(blocks)
     for offset, sign in terms:
-        shifted = blocks
-        valid = True
         slicer = [slice(None)]
         src = [slice(None)]
-        for d, o in enumerate(offset):
+        for o in offset:
             if o == 0:
                 slicer.append(slice(None))
                 src.append(slice(None))
@@ -184,6 +182,5 @@ def estimate_lorenzo_error(blocks: np.ndarray) -> np.ndarray:
         shifted = np.zeros_like(blocks)
         shifted[tuple(slicer)] = blocks[tuple(src)]
         pred += sign * shifted
-        del valid
     resid = np.abs(blocks - pred)
     return resid.reshape(blocks.shape[0], -1).mean(axis=1)

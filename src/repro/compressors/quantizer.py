@@ -95,12 +95,13 @@ class LinearQuantizer:
         raw = np.clip(raw, -(2**62), 2**62)
         signed = raw.astype(np.int64)
         recon = predictions + signed.astype(np.float64) * width
+        folded = zigzag_encode(signed) + 1
         within = (
             finite
             & (np.abs(recon - values) <= self.abs_bound * (1 + 1e-12))
-            & (zigzag_encode(signed) + 1 < self.max_code)
+            & (folded < self.max_code)
         )
-        codes = np.where(within, zigzag_encode(signed) + 1, 0).astype(np.int64)
+        codes = np.where(within, folded, 0).astype(np.int64)
         outlier_mask = ~within
         outliers = values[outlier_mask].astype(np.float64)
         recon = np.where(within, recon, values)

@@ -99,27 +99,43 @@ def _rev_bits(value: int, n: int) -> int:
 
 
 def _encode_plane(writer: BitWriter, x: int, n: int, size: int) -> int:
-    """ZFP group-testing bitplane pass; returns the updated significance count."""
+    """ZFP group-testing bitplane pass; returns the updated significance count.
+
+    The whole plane — known-significant prefix, per-group test bits and the
+    group payloads — is assembled into one integer and emitted with a single
+    ``write_bits`` call, so the writer is driven per *bitplane* rather than
+    per bit.
+    """
+    acc = 0
+    nbits = 0
     if n:
-        writer.write_bits(_rev_bits(x & ((1 << n) - 1), n), n)
-        x >>= n
-    while n < size:
-        has = 1 if x else 0
-        writer.write_bit(has)
-        if not has:
-            break
-        while True:
-            bit = x & 1
-            writer.write_bit(bit)
-            x >>= 1
-            n += 1
-            if bit:
-                break
-    return n
+        acc = _rev_bits(x & ((1 << n) - 1), n)
+        nbits = n
+    rest = x >> n
+    pos = n
+    while rest:
+        # Group: a '1' test bit, then the plane bits up to and including the
+        # next significant coefficient (LSB-first from position `pos`).
+        glen = (rest & -rest).bit_length()
+        group = _rev_bits((x >> pos) & ((1 << glen) - 1), glen)
+        acc = (acc << (1 + glen)) | (1 << glen) | group
+        nbits += 1 + glen
+        pos += glen
+        rest >>= glen
+    if pos < size:
+        acc <<= 1  # '0' test bit: no further significant coefficients
+        nbits += 1
+    writer.write_bits(acc, nbits)
+    return pos
 
 
 def _decode_plane(reader: BitReader, n: int, size: int) -> tuple[int, int]:
-    """Inverse of :func:`_encode_plane`; returns (plane integer, new n)."""
+    """Inverse of :func:`_encode_plane`; returns (plane integer, new n).
+
+    Group payloads are scanned with one chunked ``read_bits`` peek per group
+    (then the bit cursor is snapped back to just past the terminating '1'),
+    instead of the original bit-by-bit reads.
+    """
     x = 0
     if n:
         x = _rev_bits(reader.read_bits(n), n)
@@ -127,15 +143,20 @@ def _decode_plane(reader: BitReader, n: int, size: int) -> tuple[int, int]:
     while pos < size:
         if not reader.read_bit():
             break
-        while True:
-            bit = reader.read_bit()
-            if bit:
-                x |= 1 << pos
-                pos += 1
-                break
-            pos += 1
-            if pos >= size:
-                raise DecompressionError("zfp plane ran past block size")
+        span = size - pos
+        start = reader.bit_position
+        take = min(span, reader.bit_size - start)
+        if take <= 0:
+            raise DecompressionError("bit stream exhausted")
+        chunk = reader.read_bits(take)
+        if chunk == 0:
+            if take < span:
+                raise DecompressionError("bit stream exhausted")
+            raise DecompressionError("zfp plane ran past block size")
+        zeros = take - chunk.bit_length()
+        x |= 1 << (pos + zeros)
+        pos += zeros + 1
+        reader.seek_bit(start + zeros + 1)
     return x, pos
 
 
@@ -205,16 +226,18 @@ class ZFP(Compressor):
             if _needs_raw_escape(e, abs_bound):
                 # Verbatim escape: 1 flag bit + 64 bits/value, exact.
                 writer.write_bit(1)
-                for u in flat_core[b].view(np.uint64):
-                    writer.write_bits(int(u), 64)
+                writer.write_many(
+                    flat_core[b].view(np.uint64), np.full(bsize, 64, dtype=np.int64)
+                )
                 continue
-            writer.write_bit(0)
-            writer.write_bits(e + _E_BIAS, _E_BITS)
             # True top plane of this block (exact scan fixes the +1 guard).
             kmax = int(kmax_arr[b])
             while kmax > 0 and planes[kmax, b] == 0:
                 kmax -= 1
-            writer.write_bits(kmax, _K_BITS)
+            # One batched header write: escape flag, exponent, top plane.
+            writer.write_bits(
+                ((e + _E_BIAS) << _K_BITS) | kmax, 1 + _E_BITS + _K_BITS
+            )
             kmin = int(kmins[b])
             n = 0
             for k in range(kmax, kmin - 1, -1):
@@ -239,9 +262,7 @@ class ZFP(Compressor):
                 continue
             nonzero[b] = True
             if reader.read_bit():  # verbatim escape
-                raw = np.array(
-                    [reader.read_bits(64) for _ in range(bsize)], dtype=np.uint64
-                )
+                raw = reader.read_many(np.full(bsize, 64, dtype=np.int64))
                 raw_blocks[b] = raw.view(np.float64)
                 continue
             e = reader.read_bits(_E_BITS) - _E_BIAS

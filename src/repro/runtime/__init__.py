@@ -8,13 +8,25 @@ evaluated:
 - :class:`~repro.runtime.store.ResultStore` — content-addressed
   memoization of evaluated points, in memory and optionally on disk;
 - :class:`~repro.runtime.engine.SweepEngine` — expansion, deduplication,
-  and serial / thread-pool / process-pool execution with progress events.
+  and serial / thread-pool / process-pool execution with progress events;
+- :mod:`~repro.runtime.benchmark` — the kernel benchmark harness behind
+  ``repro bench kernels`` and ``BENCH_kernels.json`` (perf trajectory).
 
 Every ``Testbed`` sweep driver and the ``TradeoffAnalyzer`` delegate here,
 so repeated points across figures are computed exactly once per store.
 See ``docs/user-guide/sweeps.md`` for a guided tour.
 """
 
+from repro.runtime.benchmark import (
+    KERNELS,
+    KernelInputs,
+    KernelSpec,
+    compare_docs,
+    kernel_inputs,
+    run_and_report,
+    run_kernels,
+    validate_doc,
+)
 from repro.runtime.engine import EXECUTORS, EngineStats, SweepEngine, SweepEvent
 from repro.runtime.spec import SWEEP_KINDS, GridPoint, SweepSpec
 from repro.runtime.store import (
@@ -30,16 +42,24 @@ from repro.runtime.store import (
 __all__ = [
     "CACHE_VERSION",
     "EXECUTORS",
+    "KERNELS",
     "SWEEP_KINDS",
     "EngineStats",
     "GridPoint",
+    "KernelInputs",
+    "KernelSpec",
     "ResultStore",
     "SweepEngine",
     "SweepEvent",
     "SweepSpec",
+    "compare_docs",
     "decode_record",
     "default_store",
     "encode_record",
+    "kernel_inputs",
     "point_key",
+    "run_and_report",
+    "run_kernels",
     "testbed_fingerprint",
+    "validate_doc",
 ]

@@ -1,0 +1,163 @@
+"""Kernel benchmark harness: document schema, round-trip, compare, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.runtime.benchmark import (
+    KERNELS,
+    SCHEMA_VERSION,
+    SYNTHETIC_DATASET,
+    compare_docs,
+    format_report,
+    kernel_inputs,
+    load_doc,
+    run_and_report,
+    run_kernels,
+    validate_doc,
+    write_doc,
+)
+
+QUICK = dict(quick=True, datasets=(SYNTHETIC_DATASET,))
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_kernels((SYNTHETIC_DATASET,), quick=True)
+
+
+class TestKernelInputs:
+    def test_synthetic_stream_is_deterministic(self):
+        a = kernel_inputs(SYNTHETIC_DATASET, target_symbols=4096)
+        b = kernel_inputs(SYNTHETIC_DATASET, target_symbols=4096)
+        np.testing.assert_array_equal(a.codes, b.codes)
+        assert a.field is None
+
+    def test_dataset_stream_is_tiled_to_target(self):
+        inputs = kernel_inputs("nyx", target_symbols=1 << 15, scale="tiny")
+        assert inputs.codes.size == 1 << 15
+        assert inputs.codes.min() >= 0
+        assert inputs.field is not None
+
+    def test_every_kernel_prepares_or_skips(self):
+        inputs = kernel_inputs(SYNTHETIC_DATASET, target_symbols=2048)
+        names = set()
+        for spec in KERNELS:
+            prepared = spec.prepare(inputs)
+            if prepared is None:
+                continue
+            fn, n_symbols, n_bytes = prepared
+            assert n_symbols == 2048 and n_bytes > 0
+            fn()  # must be callable without error
+            names.add(spec.name)
+        assert {"huffman_encode", "huffman_decode", "pack_bits", "unpack_bits"} <= names
+
+
+class TestDocumentSchema:
+    def test_run_produces_valid_doc(self, quick_doc):
+        validate_doc(quick_doc)  # must not raise
+        assert quick_doc["schema_version"] == SCHEMA_VERSION
+        kernels = {r["kernel"] for r in quick_doc["results"]}
+        assert "huffman_decode" in kernels
+        for rec in quick_doc["results"]:
+            assert rec["mb_per_s"] > 0 and rec["sym_per_s"] > 0
+
+    def test_validate_rejects_drift(self, quick_doc):
+        bad = dict(quick_doc, schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_doc(bad)
+        bad = {k: v for k, v in quick_doc.items() if k != "results"}
+        with pytest.raises(ValueError, match="results"):
+            validate_doc(bad)
+        bad = dict(quick_doc, results=[])
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_doc(bad)
+        clipped = [
+            {k: v for k, v in quick_doc["results"][0].items() if k != "sym_per_s"}
+        ]
+        with pytest.raises(ValueError, match="sym_per_s"):
+            validate_doc(dict(quick_doc, results=clipped))
+        with pytest.raises(ValueError):
+            validate_doc([])
+
+    def test_json_round_trip(self, tmp_path, quick_doc):
+        path = tmp_path / "BENCH_kernels.json"
+        write_doc(str(path), quick_doc)
+        loaded = load_doc(str(path))
+        assert loaded == json.loads(json.dumps(quick_doc))
+
+
+class TestCompare:
+    def test_compare_matches_by_kernel_and_dataset(self, quick_doc):
+        twice = json.loads(json.dumps(quick_doc))
+        for rec in twice["results"]:
+            rec["seconds_per_call"] /= 2.0
+        deltas = compare_docs(quick_doc, twice)
+        assert len(deltas) == len(quick_doc["results"])
+        for d in deltas:
+            assert d["speedup"] == pytest.approx(2.0)
+
+    def test_compare_skips_mismatched_input_sizes(self, quick_doc):
+        # A quick run vs a stored full run must not report size ratios as
+        # speedups (the CI bench-smoke path hits exactly this).
+        full = json.loads(json.dumps(quick_doc))
+        for rec in full["results"]:
+            rec["n_symbols"] *= 16
+            rec["seconds_per_call"] *= 16
+        assert compare_docs(full, quick_doc) == []
+
+    def test_report_mentions_speedup(self, quick_doc):
+        twice = json.loads(json.dumps(quick_doc))
+        for rec in twice["results"]:
+            rec["seconds_per_call"] /= 2.0
+        report = format_report(twice, compare_docs(quick_doc, twice))
+        assert "2.0" in report and "huffman_decode" in report
+
+    def test_run_and_report_round_trips_history(self, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        emitted: list[str] = []
+        first = run_and_report(str(out), emit=emitted.append, **QUICK)
+        assert out.exists() and first["history"] == []
+        second = run_and_report(str(out), emit=emitted.append, **QUICK)
+        assert len(second["history"]) == 1
+        assert second["history"][0]["created"] == first["created"]
+        assert any("compared against previous run" in line for line in emitted)
+        validate_doc(second)
+
+
+class TestBenchCLI:
+    def test_bench_kernels_quick(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernels.json"
+        argv = [
+            "bench",
+            "kernels",
+            "--quick",
+            "--output",
+            str(out),
+            "--datasets",
+            SYNTHETIC_DATASET,
+        ]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "huffman_decode" in text and "MB/s" in text
+        validate_doc(json.loads(out.read_text()))
+        # Second invocation exercises the load -> compare -> report path.
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "compared against previous run" in text
+
+    def test_bench_json_flag_prints_document(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        argv = [
+            "bench", "kernels", "--quick", "--json",
+            "--output", str(out), "--datasets", SYNTHETIC_DATASET,
+        ]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        start = text.index("{")
+        doc = json.loads(text[start:])
+        validate_doc(doc)

@@ -64,6 +64,27 @@ class TestRoundtrip:
         with pytest.raises(DecompressionError):
             huffman_decode(blob[: len(blob) // 2])
 
+    def test_corrupt_code_length_raises_decompression_error(self):
+        # Flip a stored length past MAX_CODE_LENGTH: must stay a
+        # DecompressionError, never an arithmetic overflow.
+        blob = bytearray(huffman_encode(np.arange(10, dtype=np.int64)))
+        lengths_off = 10 + 10 * 8  # header + symbol table
+        blob[lengths_off] = 200
+        with pytest.raises(DecompressionError):
+            huffman_decode(bytes(blob))
+
+    def test_random_corruption_never_escapes_decompression_error(self, rng):
+        # Single-bit corruption anywhere in the stream must either decode
+        # (to garbage) or raise DecompressionError — nothing else.
+        good = huffman_encode(rng.geometric(0.4, size=2000) - 1)
+        for _ in range(300):
+            blob = bytearray(good)
+            blob[rng.integers(0, len(blob))] ^= 1 << rng.integers(0, 8)
+            try:
+                huffman_decode(bytes(blob))
+            except DecompressionError:
+                pass
+
     @settings(max_examples=40, deadline=None)
     @given(
         st.lists(st.integers(0, 300), min_size=1, max_size=500).map(

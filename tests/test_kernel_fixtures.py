@@ -1,0 +1,177 @@
+"""Frozen-stream fixtures: the kernel byte format is pinned bit-for-bit.
+
+``tests/fixtures/kernel_streams.npz`` was captured from the original
+per-symbol/per-bit implementations (see ``tools/gen_kernel_fixtures.py``).
+These tests assert that the vectorized Huffman, bit-packing, and ZFP kernels
+still *produce* byte-identical streams (forward compatibility) and still
+*decode* the frozen streams to the original arrays (backward compatibility) —
+including the empty, single-symbol, and longer-than-``PEEK_BITS`` alphabets.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import get_compressor
+from repro.compressors.bitstream import BitReader, BitWriter, pack_bits, unpack_bits
+from repro.compressors.huffman import PEEK_BITS, huffman_decode, huffman_encode
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "kernel_streams.npz"
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    return np.load(FIXTURES)
+
+
+def _cases(frozen, prefix):
+    return sorted({k.split("/")[1] for k in frozen.files if k.startswith(prefix + "/")})
+
+
+class TestHuffmanFrozenStreams:
+    def test_covers_required_regimes(self, frozen):
+        cases = _cases(frozen, "huffman")
+        assert "empty" in cases
+        assert "single_symbol" in cases
+        assert "two_symbols" in cases
+        assert "very_long_codes" in cases
+
+    def test_encode_byte_identical(self, frozen):
+        for name in _cases(frozen, "huffman"):
+            syms = frozen[f"huffman/{name}/input"]
+            expected = frozen[f"huffman/{name}/blob"].tobytes()
+            assert huffman_encode(syms) == expected, name
+
+    def test_decode_frozen_streams(self, frozen):
+        for name in _cases(frozen, "huffman"):
+            syms = frozen[f"huffman/{name}/input"]
+            blob = frozen[f"huffman/{name}/blob"].tobytes()
+            np.testing.assert_array_equal(huffman_decode(blob), syms, err_msg=name)
+
+    def test_long_code_fixture_exceeds_peek(self, frozen):
+        # Reconstruct the canonical lengths and confirm the escape path is hit.
+        from repro.compressors.huffman import _code_lengths
+
+        syms = frozen["huffman/very_long_codes/input"]
+        values, counts = np.unique(syms, return_counts=True)
+        lengths = _code_lengths(counts.astype(np.int64))
+        assert lengths.max() > PEEK_BITS
+
+
+class TestPackFrozenStreams:
+    def test_pack_byte_identical(self, frozen):
+        for name in _cases(frozen, "pack"):
+            values = frozen[f"pack/{name}/values"]
+            widths = frozen[f"pack/{name}/widths"]
+            expected = frozen[f"pack/{name}/blob"].tobytes()
+            assert pack_bits(values, widths) == expected, name
+
+    def test_unpack_frozen_streams(self, frozen):
+        for name in _cases(frozen, "pack"):
+            values = frozen[f"pack/{name}/values"]
+            widths = frozen[f"pack/{name}/widths"]
+            blob = frozen[f"pack/{name}/blob"].tobytes()
+            out = unpack_bits(blob, widths)
+            np.testing.assert_array_equal(out, np.where(widths > 0, values, 0), name)
+
+
+class TestZFPFrozenStreams:
+    def test_compress_byte_identical(self, frozen):
+        comp = get_compressor("zfp")
+        for name in _cases(frozen, "zfp"):
+            arr = frozen[f"zfp/{name}/input"]
+            rel = float(frozen[f"zfp/{name}/rel_bound"][0])
+            expected = frozen[f"zfp/{name}/blob"].tobytes()
+            assert comp.compress(arr, rel).data == expected, name
+
+    def test_decompress_frozen_streams_within_bound(self, frozen):
+        comp = get_compressor("zfp")
+        for name in _cases(frozen, "zfp"):
+            arr = frozen[f"zfp/{name}/input"]
+            rel = float(frozen[f"zfp/{name}/rel_bound"][0])
+            blob = frozen[f"zfp/{name}/blob"].tobytes()
+            recon = comp.decompress(blob)
+            assert recon.shape == arr.shape
+            span = float(arr.max() - arr.min())
+            bound = rel * (span if span > 0 else 1.0)
+            assert np.abs(recon - arr).max() <= bound * (1 + 1e-9), name
+
+
+class TestVectorizedAgainstScalarSemantics:
+    """Property/fuzz coverage of the new batched paths."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**15), min_size=0, max_size=400).map(
+            lambda xs: np.array(xs, dtype=np.int64)
+        )
+    )
+    def test_huffman_roundtrip_fuzz(self, syms):
+        np.testing.assert_array_equal(huffman_decode(huffman_encode(syms)), syms)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 22), st.integers(0, 2**32))
+    def test_huffman_deep_alphabet_roundtrip(self, depth, seed):
+        # Fibonacci frequencies force near-maximal code depth for the size.
+        fib = [1, 1]
+        while len(fib) < depth:
+            fib.append(fib[-1] + fib[-2])
+        syms = np.concatenate(
+            [np.full(f, i, dtype=np.int64) for i, f in enumerate(fib)]
+        )
+        syms = syms[np.random.default_rng(seed).permutation(syms.size)]
+        np.testing.assert_array_equal(huffman_decode(huffman_encode(syms)), syms)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 64)),
+            min_size=0,
+            max_size=150,
+        )
+    )
+    def test_write_many_matches_scalar_write_bits(self, pairs):
+        values = np.array(
+            [v & ((1 << w) - 1) if w else 0 for v, w in pairs], dtype=np.uint64
+        )
+        widths = np.array([w for _, w in pairs], dtype=np.int64)
+        scalar, batched = BitWriter(), BitWriter()
+        scalar.write_bits(0b0110, 4)  # misalign the accumulator
+        batched.write_bits(0b0110, 4)
+        for v, w in zip(values, widths):
+            scalar.write_bits(int(v), int(w))
+        batched.write_many(values, widths)
+        assert scalar.getvalue() == batched.getvalue()
+        assert scalar.bit_length == batched.bit_length
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 64)),
+            min_size=0,
+            max_size=150,
+        ),
+        st.integers(0, 7),
+    )
+    def test_read_many_matches_scalar_read_bits(self, pairs, lead):
+        writer = BitWriter()
+        writer.write_bits(0, lead)
+        values = [(v & ((1 << w) - 1)) if w else 0 for v, w in pairs]
+        widths = np.array([w for _, w in pairs], dtype=np.int64)
+        for v, w in zip(values, widths):
+            writer.write_bits(v, int(w))
+        data = writer.getvalue()
+
+        scalar = BitReader(data)
+        scalar.seek_bit(lead)
+        expected = [scalar.read_bits(int(w)) for w in widths]
+        batched = BitReader(data)
+        batched.seek_bit(lead)
+        out = batched.read_many(widths)
+        np.testing.assert_array_equal(out, np.array(expected, dtype=np.uint64))
+        assert batched.bit_position == scalar.bit_position

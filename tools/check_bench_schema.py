@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""CI gate: validate a BENCH_kernels.json against the harness schema.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_schema.py BENCH_kernels.json
+
+Exits non-zero with a message on schema drift (missing keys, wrong types,
+version bumps).  Absolute timings are deliberately NOT checked — CI runners
+make them meaningless; only the document shape is contractual.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.runtime.benchmark import load_doc  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_bench_schema.py BENCH_kernels.json", file=sys.stderr)
+        return 2
+    try:
+        doc = load_doc(argv[0])
+    except (OSError, ValueError) as exc:
+        print(f"benchmark schema drift in {argv[0]}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{argv[0]}: schema v{doc['schema_version']} ok "
+        f"({len(doc['results'])} results, {len(doc['history'])} runs in history)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Regenerate the frozen kernel-stream fixtures under ``tests/fixtures/``.
+
+The fixtures pin the *on-disk byte format* of the entropy/bitstream kernels:
+every case stores both the deterministic input and the encoded stream bytes.
+``tests/test_kernel_fixtures.py`` asserts that the current implementation
+still produces byte-identical streams (forward compat) and decodes the
+frozen streams to the original arrays (backward compat), so the vectorized
+kernels can be rewritten freely without silently forking the format.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/gen_kernel_fixtures.py
+
+Only rerun this when the byte format changes *intentionally*; the diff of
+the regenerated ``.npz`` is then part of the format-change review.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.compressors import get_compressor  # noqa: E402
+from repro.compressors.bitstream import pack_bits  # noqa: E402
+from repro.compressors.huffman import huffman_encode  # noqa: E402
+
+FIXTURE_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "tests"
+    / "fixtures"
+    / "kernel_streams.npz"
+)
+
+
+def _as_bytes_array(blob: bytes) -> np.ndarray:
+    return np.frombuffer(blob, dtype=np.uint8)
+
+
+def huffman_cases() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(20260729)
+    cases: dict[str, np.ndarray] = {}
+
+    def add(name: str, syms: np.ndarray) -> None:
+        syms = np.ascontiguousarray(syms, dtype=np.int64)
+        cases[f"huffman/{name}/input"] = syms
+        cases[f"huffman/{name}/blob"] = _as_bytes_array(huffman_encode(syms))
+
+    add("empty", np.zeros(0, dtype=np.int64))
+    add("single_symbol", np.full(1000, 42, dtype=np.int64))
+    add("two_symbols", np.array([0, 1] * 500, dtype=np.int64))
+    add("geometric", rng.geometric(0.3, size=50_000) - 1)
+    # Quantizer-shaped: mostly small zig-zag codes around 1, sparse outliers (0).
+    codes = rng.geometric(0.45, size=40_000)
+    codes[rng.random(codes.size) < 0.002] = 0
+    add("quantizer_codes", codes)
+    add("large_alphabet", rng.integers(0, 5000, size=20_000))
+    # Exponential frequencies force canonical codes longer than PEEK_BITS.
+    add(
+        "long_codes",
+        np.concatenate([np.full(2**i, i, dtype=np.int64) for i in range(18)]),
+    )
+    # Fibonacci frequencies maximize Huffman depth per total count: ~24
+    # lengths from ~200k symbols, deep into the slow-path regime.
+    fib = [1, 1]
+    while len(fib) < 24:
+        fib.append(fib[-1] + fib[-2])
+    parts = [np.full(f, i, dtype=np.int64) for i, f in enumerate(fib)]
+    concat = np.concatenate(parts)
+    add("very_long_codes", concat[rng.permutation(concat.size)])
+    return cases
+
+
+def pack_cases() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(987)
+    cases: dict[str, np.ndarray] = {}
+
+    def add(name: str, values: np.ndarray, widths: np.ndarray) -> None:
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        widths = np.ascontiguousarray(widths, dtype=np.int64)
+        cases[f"pack/{name}/values"] = values
+        cases[f"pack/{name}/widths"] = widths
+        cases[f"pack/{name}/blob"] = _as_bytes_array(pack_bits(values, widths))
+
+    add(
+        "mixed",
+        np.array([5, 0, 255, 1, 2**64 - 1, 7], dtype=np.uint64),
+        np.array([3, 1, 8, 2, 64, 0], dtype=np.int64),
+    )
+    widths = rng.integers(0, 65, size=3000)
+    values = rng.integers(0, 2**63, size=3000, dtype=np.uint64)
+    values = np.where(
+        widths == 0,
+        0,
+        values & ((np.uint64(1) << np.maximum(widths, 1).astype(np.uint64)) - np.uint64(1)),
+    ).astype(np.uint64)
+    add("random", values, widths)
+    add(
+        "all_64",
+        np.array([2**64 - 1, 0, 2**63, 1], dtype=np.uint64),
+        np.full(4, 64, dtype=np.int64),
+    )
+    return cases
+
+
+def zfp_cases() -> dict[str, np.ndarray]:
+    cases: dict[str, np.ndarray] = {}
+    comp = get_compressor("zfp")
+
+    def add(name: str, arr: np.ndarray, rel_bound: float) -> None:
+        buf = comp.compress(arr, rel_bound)
+        cases[f"zfp/{name}/input"] = np.ascontiguousarray(arr)
+        cases[f"zfp/{name}/rel_bound"] = np.array([rel_bound], dtype=np.float64)
+        cases[f"zfp/{name}/blob"] = _as_bytes_array(buf.data)
+
+    x, y, z = np.meshgrid(*[np.linspace(0.0, 1.0, 12)] * 3, indexing="ij")
+    smooth3 = (np.sin(5 * x) * np.cos(4 * y) + z**2).astype(np.float64)
+    add("smooth_3d", smooth3, 1e-3)
+
+    rng = np.random.default_rng(31337)
+    add("noisy_2d", rng.standard_normal((17, 23)) * 50.0 + 10.0, 1e-4)
+    add("ramp_1d", np.linspace(-4.0, 9.0, 301), 1e-5)
+    # Huge common exponent + micro-scale range: exercises the raw escape.
+    add("raw_escape", 1.0e8 + rng.standard_normal((4, 4, 4)) * 1e-4, 1e-12)
+    add("with_zero_blocks", np.pad(smooth3, ((0, 8), (0, 0), (0, 0))), 1e-3)
+    return cases
+
+
+def main() -> int:
+    cases: dict[str, np.ndarray] = {}
+    cases.update(huffman_cases())
+    cases.update(pack_cases())
+    cases.update(zfp_cases())
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(FIXTURE_PATH, **cases)
+    n_cases = len({k.rsplit("/", 2)[0] + "/" + k.split("/")[1] for k in cases})
+    print(f"wrote {FIXTURE_PATH} ({n_cases} cases, {len(cases)} arrays)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
