@@ -28,6 +28,7 @@ from repro import __version__
 from repro.compressors import available_compressors, get_compressor
 from repro.compressors.base import Compressor
 from repro.core.report import format_table, si
+from repro.runtime.spec import SWEEP_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -43,6 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro compress field.npy field.rpz --codec sz3 --rel-bound 1e-3\n"
             "  repro advise --dataset s3d --io netcdf --psnr-min 60\n"
             "  repro sweep --kind io --datasets cesm,s3d --executor process\n"
+            "  repro sweep --kind pipeline --datasets nyx --n-chunks 16\n"
             "  repro sweep --spec grid.json --cache-dir .sweep-cache\n\n"
             "`repro sweep` evaluates a whole (dataset x codec x bound x CPU x\n"
             "I/O library) grid in one shot — in parallel and memoized, see\n"
@@ -108,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--kind",
         default="serial",
-        choices=("serial", "thread", "quality", "io", "read", "lossless"),
+        choices=SWEEP_KINDS,
         help="grid shape; each kind maps onto one Testbed driver",
     )
     p.add_argument("--datasets", default="cesm,hacc,nyx,s3d", help="comma-separated")
@@ -134,7 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-baseline",
         action="store_true",
-        help="io/read kinds: skip the uncompressed baseline points",
+        help="io/read/pipeline kinds: skip the uncompressed baseline points",
+    )
+    p.add_argument(
+        "--n-chunks",
+        type=int,
+        default=8,
+        help="pipeline kind: chunks streamed through the compress-write pipeline",
+    )
+    p.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="pipeline kind: disable stage overlap (sequential control run)",
     )
     p.add_argument(
         "--executor",
@@ -276,9 +289,28 @@ def _cmd_advise(args) -> int:
 
 def _sweep_table(records) -> str:
     """Render engine records as a table; columns depend on the record type."""
-    from repro.core.experiments import IOPoint, RoundtripRecord, SerialPoint
+    from repro.core.experiments import (
+        IOPoint,
+        PipelinePoint,
+        RoundtripRecord,
+        SerialPoint,
+    )
 
     first = records[0]
+    if isinstance(first, PipelinePoint):
+        headers = ["io", "dataset", "codec", "REL", "chunks", "ovl", "payload",
+                   "t_comp [s]", "t_write [s]", "t_total [s]", "saved [s]",
+                   "E_total [J]"]
+        rows = [
+            [p.io_library, p.dataset, p.codec or "original",
+             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
+             p.n_chunks, "on" if p.overlap else "off", si(p.bytes_written, "B"),
+             f"{p.compress_time_s:.3f}", f"{p.write_time_s:.3f}",
+             f"{p.total_time_s:.3f}", f"{p.overlap_saving_s:.3f}",
+             f"{p.total_energy_j:.1f}"]
+            for p in records
+        ]
+        return format_table(headers, rows)
     if isinstance(first, SerialPoint):
         headers = ["dataset", "codec", "REL", "cpu", "thr", "t_comp [s]",
                    "t_dec [s]", "E_comp [J]", "E_dec [J]", "ratio", "PSNR [dB]"]
@@ -339,6 +371,8 @@ def _cmd_sweep(args) -> int:
             threads=tuple(int(t) for t in _csv(args.threads)),
             rel_bound=args.rel_bound,
             include_baseline=not args.no_baseline,
+            n_chunks=args.n_chunks,
+            overlap=not args.no_overlap,
         )
     engine = SweepEngine(
         testbed=Testbed(scale=args.scale),

@@ -15,8 +15,9 @@ from repro.energy.cpus import CPUSpec
 from repro.energy.papi import PapiPowercapMonitor
 from repro.energy.power import PowerModel
 from repro.energy.rapl import SimulatedRapl
+from repro.errors import ConfigurationError
 
-__all__ = ["Phase", "EnergyReport", "EnergyMeter"]
+__all__ = ["Phase", "Interval", "compose_phases", "EnergyReport", "EnergyMeter"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,74 @@ class Phase:
     active_cores: int
     activity: float = 1.0
     label: str = ""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A load segment on an absolute timeline, for overlapped stages.
+
+    Unlike :class:`Phase` (relative, strictly sequential), intervals carry
+    absolute start/end times so concurrent stages — a compress stream and
+    the transfer draining behind it — can be described independently and
+    then overlaid with :func:`compose_phases`.
+    """
+
+    start_s: float
+    end_s: float
+    active_cores: int = 1
+    activity: float = 1.0
+    label: str = ""
+
+    def __post_init__(self):
+        if self.end_s < self.start_s - 1e-12:
+            raise ConfigurationError("interval must not end before it starts")
+
+
+def compose_phases(
+    intervals: list[Interval] | tuple[Interval, ...],
+    max_cores: int | None = None,
+) -> list[Phase]:
+    """Overlay absolute-time intervals into a sequential :class:`Phase` list.
+
+    The timeline is cut at every interval boundary; within each elementary
+    segment the covering intervals are combined by summing their core counts
+    (clamped to ``max_cores``) and carrying the core-weighted mean activity,
+    with the total core·activity load preserved under clamping (activity
+    saturates at 1.0).  Gaps between intervals become zero-core idle phases,
+    so the composed timeline spans from the earliest start to the latest end
+    and its measured runtime equals the overlapped makespan.
+
+    Each emitted phase takes the label of its highest-load interval, which
+    keeps labelled accounting meaningful for mostly-disjoint stages.
+    """
+    ivs = [iv for iv in intervals if iv.end_s - iv.start_s > 1e-12]
+    if not ivs:
+        return []
+    cuts: list[float] = []
+    for iv in ivs:
+        cuts.append(float(iv.start_s))
+        cuts.append(float(iv.end_s))
+    cuts.sort()
+    # Merge boundaries closer than float noise so no phantom segments appear.
+    edges = [cuts[0]]
+    for c in cuts[1:]:
+        if c - edges[-1] > 1e-12:
+            edges.append(c)
+    phases: list[Phase] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mid = 0.5 * (lo + hi)
+        covering = [iv for iv in ivs if iv.start_s <= mid < iv.end_s]
+        if not covering:
+            phases.append(Phase(hi - lo, 0, 0.0, "idle"))
+            continue
+        cores = sum(iv.active_cores for iv in covering)
+        load = sum(iv.active_cores * iv.activity for iv in covering)
+        if max_cores is not None:
+            cores = min(cores, max_cores)
+        activity = min(1.0, load / cores) if cores > 0 else 0.0
+        label = max(covering, key=lambda iv: iv.active_cores * iv.activity).label
+        phases.append(Phase(hi - lo, cores, activity, label))
+    return phases
 
 
 @dataclass(frozen=True)
@@ -45,6 +114,14 @@ class EnergyReport:
 
     def __add__(self, other: "EnergyReport") -> "EnergyReport":
         """Concatenate two measurement windows (e.g. compress + write)."""
+        if len(self.zone_energies_j) != len(other.zone_energies_j):
+            # zip() would silently truncate the longer tuple, corrupting the
+            # per-zone split; mismatched zone counts mean the reports came
+            # from different node configurations and cannot be concatenated.
+            raise ConfigurationError(
+                "cannot add EnergyReports with different zone counts "
+                f"({len(self.zone_energies_j)} vs {len(other.zone_energies_j)})"
+            )
         zones = tuple(
             a + b for a, b in zip(self.zone_energies_j, other.zone_energies_j)
         )

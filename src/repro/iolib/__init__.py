@@ -10,6 +10,9 @@ a Lustre parallel file system.  This subpackage provides:
   models;
 - a Lustre-like parallel-file-system model (:mod:`repro.iolib.pfs`) with
   OSTs, striping, per-client caps and fair-share aggregate contention;
+- the block-pipelined compressed-I/O model (:mod:`repro.iolib.pipeline`):
+  chunked compress→write with the transfer of chunk *k* overlapping the
+  compression of chunk *k+1*;
 - the storage-device catalogue used by the Section-VII extrapolation
   (:mod:`repro.iolib.devices`).
 """
@@ -18,6 +21,13 @@ from repro.iolib.base import IOLibrary, WriteCostModel, get_io_library
 from repro.iolib.hdf5_like import HDF5Like
 from repro.iolib.netcdf_like import NetCDFLike
 from repro.iolib.pfs import PFSModel, fair_share_schedule
+from repro.iolib.pipeline import (
+    PipelineConfig,
+    PipelinePlan,
+    chunk_array,
+    chunk_spans,
+    plan_pipelined_write,
+)
 
 __all__ = [
     "IOLibrary",
@@ -26,5 +36,10 @@ __all__ = [
     "HDF5Like",
     "NetCDFLike",
     "PFSModel",
+    "PipelineConfig",
+    "PipelinePlan",
+    "chunk_array",
+    "chunk_spans",
     "fair_share_schedule",
+    "plan_pipelined_write",
 ]

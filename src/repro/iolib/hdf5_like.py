@@ -68,6 +68,7 @@ class HDF5Like(IOLibrary):
         bandwidth_efficiency=0.95,
         open_latency_s=0.004,
         transfer_activity=0.10,
+        chunk_meta_latency_s=0.0002,  # one new object header per chunk
     )
 
     def pack(self, datasets, attrs=None) -> bytes:

@@ -42,6 +42,7 @@ class NetCDFLike(IOLibrary):
         bandwidth_efficiency=0.40,  # unaligned records, no collective buffering
         open_latency_s=0.012,
         transfer_activity=0.30,  # conversion work continues during the drain
+        chunk_meta_latency_s=0.003,  # every chunk define rewrites the header
     )
 
     def pack(self, datasets, attrs=None) -> bytes:

@@ -71,25 +71,39 @@ def fair_share_schedule(
         guard += 1
         if guard > 10 * n + 100:
             raise SimulationError("fair-share solver failed to converge")
-        # Admit all flows that have arrived by t.
+        # Admit all flows that have arrived by t.  Zero-byte flows need no
+        # bandwidth: they complete at their arrival instant instead of
+        # entering the active set (where each one would force a zero-length
+        # solver step and burn guard iterations).
         while next_arrival < n and arrivals[order[next_arrival]] <= t + 1e-12:
-            active.append(int(order[next_arrival]))
+            idx = int(order[next_arrival])
             next_arrival += 1
+            if remaining[idx] <= 1e-9:
+                finish[idx] = float(arrivals[idx])
+            else:
+                active.append(idx)
         if not active:
+            if next_arrival >= n:
+                break
             t = float(arrivals[order[next_arrival]])
             continue
         rate = min(per_flow_cap_mbps, aggregate_cap_mbps / len(active))
         # Time to the next event: earliest completion or next arrival.
         rem = np.array([remaining[i] for i in active])
-        dt_complete = float(rem.min()) / rate if rate > 0 else np.inf
+        dt_complete = float(rem.min()) / rate
         dt_arrival = (
             float(arrivals[order[next_arrival]]) - t
             if next_arrival < n
             else np.inf
         )
+        # A completion that coincides with an arrival is one positive step to
+        # the shared event time; the next iteration admits the arrival.  Both
+        # candidate steps are strictly positive — active flows have bytes left
+        # and pending arrivals are beyond the admission tolerance — so the
+        # solver can never stall on a dt == 0 step.
         dt = min(dt_complete, dt_arrival)
-        if dt < 0:
-            raise SimulationError("negative time step in fair-share solver")
+        if dt <= 0:
+            raise SimulationError("non-positive time step in fair-share solver")
         for i in active:
             remaining[i] -= rate * dt
         t += dt
@@ -170,3 +184,28 @@ class PFSModel:
             aggregate_cap_mbps=self.aggregate_bw_mbps * efficiency,
         )
         return finish
+
+    def pipelined_write_times(
+        self,
+        sizes_bytes: np.ndarray,
+        arrivals: np.ndarray,
+        efficiency: float = 1.0,
+    ) -> np.ndarray:
+        """Finish times for one client streaming chunks of a single file.
+
+        The chunk flows all originate from the same client writing the same
+        striped file, so the *aggregate* cap is the single-stream bandwidth
+        (client link or stripe width, whichever binds) — not the backend
+        ceiling shared by a whole cluster.  Staggered chunk arrivals model
+        the compress stage feeding the write stage; the MDS open is charged
+        once, on the first chunk.
+        """
+        if not 0 < efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        stream = self.stream_bw_mbps * efficiency
+        return fair_share_schedule(
+            np.asarray(arrivals, dtype=np.float64) + self.metadata_latency_s,
+            np.asarray(sizes_bytes, dtype=np.float64),
+            per_flow_cap_mbps=stream,
+            aggregate_cap_mbps=stream,
+        )

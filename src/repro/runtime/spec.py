@@ -21,8 +21,8 @@ from repro.errors import ConfigurationError
 
 __all__ = ["GridPoint", "SweepSpec", "SWEEP_KINDS"]
 
-#: The supported grid shapes; each maps onto one seed ``Testbed`` driver.
-SWEEP_KINDS = ("serial", "thread", "quality", "io", "read", "lossless")
+#: The supported grid shapes; each maps onto one ``Testbed`` driver.
+SWEEP_KINDS = ("serial", "thread", "quality", "io", "read", "lossless", "pipeline")
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,9 @@ class SweepSpec:
     #: drop codec/ndim combos the paper's toolchain could not run
     #: (``thread`` kind; see ``Testbed.run_thread_sweep``).
     paper_fidelity: bool = False
+    #: chunk count and stage overlap for the ``pipeline`` kind.
+    n_chunks: int = 8
+    overlap: bool = True
 
     def __post_init__(self):
         if self.kind not in SWEEP_KINDS:
@@ -98,8 +101,12 @@ class SweepSpec:
         object.__setattr__(self, "threads", _tuple(self.threads, int))
         object.__setattr__(self, "lossless_codecs", _tuple(self.lossless_codecs, str))
         object.__setattr__(self, "rel_bound", float(self.rel_bound))
+        object.__setattr__(self, "n_chunks", int(self.n_chunks))
+        object.__setattr__(self, "overlap", bool(self.overlap))
         if not self.threads:
             raise ConfigurationError("threads axis must not be empty")
+        if self.n_chunks < 1:
+            raise ConfigurationError("n_chunks must be >= 1")
 
     # -- expansion -----------------------------------------------------------
 
@@ -202,6 +209,18 @@ class SweepSpec:
 
     def _points_read(self) -> list[GridPoint]:
         return self._points_io(op="read_point")
+
+    def _points_pipeline(self) -> list[GridPoint]:
+        # Same grid as `io`, evaluated through the block-pipelined model.
+        return [
+            GridPoint.make(
+                "pipeline_point",
+                n_chunks=self.n_chunks,
+                overlap=self.overlap,
+                **p.as_kwargs(),
+            )
+            for p in self._points_io(op="pipeline_point")
+        ]
 
     # -- serialisation -------------------------------------------------------
 

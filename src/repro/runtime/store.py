@@ -26,9 +26,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import threading
 from pathlib import Path
+
+from repro.errors import ConfigurationError
 
 __all__ = [
     "CACHE_VERSION",
@@ -46,8 +49,44 @@ CACHE_VERSION = 1
 
 
 def _canonical_json(payload) -> str:
-    """Deterministic JSON: sorted keys, no whitespace, repr-exact floats."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    """Deterministic JSON: sorted keys, no whitespace, repr-exact floats.
+
+    ``allow_nan=False`` keeps the output strict RFC 8259: Python's default
+    would emit non-standard ``NaN``/``Infinity`` tokens, which other JSON
+    implementations reject — breaking the "same point hashes identically
+    everywhere" contract.  Non-finite values must be canonicalized (or
+    rejected) before they reach this function; a stray one raises.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _canonical_params(value, path: str = "params"):
+    """Recursively canonicalize point parameters for hashing.
+
+    NaN is rejected outright — ``NaN != NaN``, so a NaN-keyed point could
+    never be looked up again and two runs would disagree about its identity.
+    ±Infinity is mapped to a tagged token that no string parameter can
+    collide with, keeping the canonical JSON strictly standard.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            raise ConfigurationError(
+                f"cache key parameter {path} is NaN; NaN has no canonical identity"
+            )
+        if math.isinf(value):
+            return {"__nonfinite__": "Infinity" if value > 0 else "-Infinity"}
+        return value
+    if isinstance(value, dict):
+        if "__nonfinite__" in value:
+            # Reserved for the infinity token above; a user dict carrying it
+            # would collide with a float("inf") parameter's identity.
+            raise ConfigurationError(
+                f"cache key parameter {path} uses the reserved key '__nonfinite__'"
+            )
+        return {k: _canonical_params(v, f"{path}.{k}") for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_params(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    return value
 
 
 def testbed_fingerprint(testbed) -> dict:
@@ -74,7 +113,7 @@ def point_key(op: str, params: dict, fingerprint: dict) -> str:
         {
             "version": CACHE_VERSION,
             "op": op,
-            "params": params,
+            "params": _canonical_params(params),
             "testbed": fingerprint,
         }
     )
@@ -87,9 +126,17 @@ def point_key(op: str, params: dict, fingerprint: dict) -> str:
 def _record_types() -> dict:
     # Imported lazily: core.experiments must stay importable without the
     # runtime package (and vice versa at module-import time).
-    from repro.core.experiments import IOPoint, RoundtripRecord, SerialPoint
+    from repro.core.experiments import (
+        IOPoint,
+        PipelinePoint,
+        RoundtripRecord,
+        SerialPoint,
+    )
 
-    return {cls.__name__: cls for cls in (RoundtripRecord, SerialPoint, IOPoint)}
+    return {
+        cls.__name__: cls
+        for cls in (RoundtripRecord, SerialPoint, IOPoint, PipelinePoint)
+    }
 
 
 def encode_record(record) -> dict:

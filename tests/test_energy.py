@@ -174,6 +174,61 @@ class TestEnergyMeter:
         report = meter.measure([Phase(0.25, 10, 1.0)])
         assert sum(report.zone_energies_j) == pytest.approx(report.energy_j, rel=1e-6)
 
+    def test_add_rejects_mismatched_zone_counts(self):
+        """zip() used to silently truncate the per-zone split on mismatch."""
+        from repro.errors import ConfigurationError
+
+        a = EnergyMeter(get_cpu("plat8160")).measure([Phase(0.2, 4, 1.0)])
+        b = EnergyMeter(get_cpu("plat8260m")).measure([Phase(0.2, 4, 1.0)])
+        assert len(a.zone_energies_j) != len(b.zone_energies_j)
+        with pytest.raises(ConfigurationError):
+            a + b
+
+    def test_compose_phases_overlays_concurrent_intervals(self):
+        from repro.energy.measurement import Interval, compose_phases
+
+        phases = compose_phases(
+            [
+                Interval(0.0, 2.0, 1, 1.0, "compress"),
+                Interval(1.0, 3.0, 1, 0.1, "write"),
+            ],
+            max_cores=32,
+        )
+        assert [p.duration_s for p in phases] == pytest.approx([1.0, 1.0, 1.0])
+        # Overlapped middle segment: both cores, core-weighted mean activity.
+        assert phases[1].active_cores == 2
+        assert phases[1].activity == pytest.approx(0.55)
+        assert [p.label for p in phases] == ["compress", "compress", "write"]
+
+    def test_compose_phases_clamps_to_cores_and_fills_gaps(self):
+        from repro.energy.measurement import Interval, compose_phases
+
+        phases = compose_phases(
+            [
+                Interval(0.0, 1.0, 3, 1.0, "a"),
+                Interval(0.0, 1.0, 3, 1.0, "b"),
+                Interval(2.0, 3.0, 1, 0.5, "c"),
+            ],
+            max_cores=4,
+        )
+        assert phases[0].active_cores == 4  # 6 requested, clamped
+        assert phases[0].activity == 1.0  # load saturates
+        assert phases[1].active_cores == 0 and phases[1].label == "idle"
+        assert sum(p.duration_s for p in phases) == pytest.approx(3.0)
+
+    def test_composed_timeline_is_measurable(self):
+        from repro.energy.measurement import Interval, compose_phases
+
+        cpu = get_cpu("plat8160")
+        meter = EnergyMeter(cpu)
+        phases = compose_phases(
+            [Interval(0.0, 0.5, 2, 1.0, "compress"), Interval(0.3, 0.8, 1, 0.2, "write")],
+            max_cores=cpu.cores,
+        )
+        report = meter.measure(phases)
+        assert report.runtime_s == pytest.approx(0.8, rel=1e-9)
+        assert report.energy_j > 0
+
     def test_more_threads_less_energy_for_fixed_work(self):
         """The Fig. 10 mechanism: shorter runtime beats higher power."""
         from repro.energy import ThroughputModel

@@ -129,6 +129,48 @@ class TestFairShare:
         with pytest.raises(ConfigurationError):
             fair_share_schedule(np.zeros(1), np.ones(1), 0.0, 1.0)
 
+    def test_zero_byte_flows_complete_at_arrival(self):
+        """Empty flows used to burn solver iterations; now they are free."""
+        arrivals = np.array([0.0, 1.0, 2.5])
+        finish = fair_share_schedule(arrivals, np.zeros(3), 100.0, 800.0)
+        np.testing.assert_allclose(finish, arrivals)
+
+    def test_zero_byte_flow_does_not_perturb_real_flows(self):
+        finish = fair_share_schedule(
+            np.array([0.0, 0.5]), np.array([1e8, 0.0]), 100.0, 800.0
+        )
+        assert finish[0] == pytest.approx(1.0)  # 100 MB at 100 MB/s, alone
+        assert finish[1] == pytest.approx(0.5)  # done the instant it arrives
+
+    def test_many_staggered_zero_flows_stay_within_guard(self):
+        n = 500
+        arrivals = np.linspace(0.0, 1.0, n)
+        finish = fair_share_schedule(arrivals, np.zeros(n), 100.0, 800.0)
+        np.testing.assert_allclose(finish, arrivals)
+
+    def test_completion_coincident_with_arrival(self):
+        """A completion landing exactly on an arrival is one clean step."""
+        finish = fair_share_schedule(
+            np.array([0.0, 1.0]), np.array([1e8, 1e8]), 100.0, 100.0
+        )
+        assert finish[0] == pytest.approx(1.0)
+        assert finish[1] == pytest.approx(2.0)
+
+    def test_zero_flows_mixed_with_coincident_events(self):
+        finish = fair_share_schedule(
+            np.array([0.0, 1.0, 1.0]),
+            np.array([1e8, 0.0, 1e8]),
+            100.0,
+            100.0,
+        )
+        assert finish[0] == pytest.approx(1.0)
+        assert finish[1] == pytest.approx(1.0)
+        assert finish[2] == pytest.approx(2.0)
+
+    def test_all_flows_empty_terminates(self):
+        finish = fair_share_schedule(np.zeros(4), np.zeros(4), 10.0, 10.0)
+        np.testing.assert_allclose(finish, 0.0)
+
 
 class TestPFSModel:
     def test_aggregate_and_stream_bw(self):

@@ -145,6 +145,37 @@ class TestPointKey:
             Testbed(scale="tiny")
         )
 
+    def test_nan_params_rejected(self):
+        """NaN != NaN, so a NaN-keyed point could never be looked up again."""
+        with pytest.raises(ConfigurationError):
+            _point_key("roundtrip", {"rel_bound": float("nan")}, self.FP)
+        with pytest.raises(ConfigurationError):
+            _point_key("io_point", {"nested": {"deep": [float("nan")]}}, self.FP)
+
+    def test_infinite_params_canonicalized_not_emitted_raw(self):
+        """allow_nan=False: the canonical JSON stays strict RFC 8259."""
+        from repro.runtime.store import _canonical_json
+
+        with pytest.raises(ValueError):
+            _canonical_json({"x": float("inf")})
+        pos = _point_key("roundtrip", {"rel_bound": float("inf")}, self.FP)
+        neg = _point_key("roundtrip", {"rel_bound": float("-inf")}, self.FP)
+        big = _point_key("roundtrip", {"rel_bound": 1e308}, self.FP)
+        assert len({pos, neg, big}) == 3  # distinct, deterministic identities
+        assert pos == _point_key("roundtrip", {"rel_bound": float("inf")}, self.FP)
+
+    def test_infinity_token_cannot_collide_with_strings(self):
+        inf_key = _point_key("roundtrip", {"rel_bound": float("inf")}, self.FP)
+        str_key = _point_key("roundtrip", {"rel_bound": "Infinity"}, self.FP)
+        assert inf_key != str_key
+
+    def test_reserved_nonfinite_key_rejected_in_dict_params(self):
+        """A user dict shaped like the inf token must not alias its key."""
+        with pytest.raises(ConfigurationError):
+            _point_key(
+                "roundtrip", {"x": {"__nonfinite__": "Infinity"}}, self.FP
+            )
+
 
 class TestResultStore:
     REC = RoundtripRecord(
