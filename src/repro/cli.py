@@ -43,8 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
             "examples:\n"
             "  repro compress field.npy field.rpz --codec sz3 --rel-bound 1e-3\n"
             "  repro advise --dataset s3d --io netcdf --psnr-min 60\n"
+            "  repro advise --dataset cesm --dvfs --freqs 1.0,2.1,3.7\n"
             "  repro sweep --kind io --datasets cesm,s3d --executor process\n"
             "  repro sweep --kind pipeline --datasets nyx --n-chunks 16\n"
+            "  repro sweep --kind dvfs --datasets cesm --cpus plat8160\n"
             "  repro sweep --spec grid.json --cache-dir .sweep-cache\n\n"
             "`repro sweep` evaluates a whole (dataset x codec x bound x CPU x\n"
             "I/O library) grid in one shot — in parallel and memoized, see\n"
@@ -93,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="test",
         choices=("tiny", "test", "bench"),
         help="synthetic data scale used for the real compression measurements",
+    )
+    p.add_argument(
+        "--dvfs",
+        action="store_true",
+        help="search the (frequency x codec x bound) space and emit the "
+        "energy-optimal compress-or-not advice with its Pareto frontier",
+    )
+    p.add_argument(
+        "--freqs",
+        default="",
+        help="comma-separated core frequencies in GHz for --dvfs "
+        "(default: the CPU's canonical DVFS ladder)",
     )
 
     p = sub.add_parser(
@@ -148,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-overlap",
         action="store_true",
         help="pipeline kind: disable stage overlap (sequential control run)",
+    )
+    p.add_argument(
+        "--freqs",
+        default="",
+        help="dvfs kind: comma-separated core frequencies in GHz "
+        "(default: each CPU's canonical DVFS ladder)",
     )
     p.add_argument(
         "--executor",
@@ -267,6 +287,8 @@ def _cmd_advise(args) -> int:
     from repro.core.experiments import Testbed
     from repro.core.tradeoff import TradeoffAnalyzer
 
+    if args.dvfs:
+        return _cmd_advise_dvfs(args)
     analyzer = TradeoffAnalyzer(
         Testbed(scale=args.scale), cpu_name=args.cpu, io_library=args.io
     )
@@ -287,9 +309,50 @@ def _cmd_advise(args) -> int:
     return 1
 
 
+def _cmd_advise_dvfs(args) -> int:
+    """`repro advise --dvfs`: the frequency-aware compress-or-not advisor."""
+    from repro.core.advisor import DvfsAdvisor
+    from repro.core.experiments import Testbed
+
+    freqs = tuple(float(f) for f in args.freqs.split(",") if f)
+    advisor = DvfsAdvisor(
+        Testbed(scale=args.scale), cpu_name=args.cpu, io_library=args.io
+    )
+    advice = advisor.advise(
+        args.dataset,
+        psnr_min_db=args.psnr_min,
+        freqs=freqs,
+        objective=args.objective,
+        require_time_benefit=args.strict_time,
+    )
+    print(advice.rationale)
+    rows = [
+        [
+            f"{p.freq_ghz:.2f}",
+            p.codec or "original",
+            "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
+            f"{p.total_time_s:.3f}",
+            f"{p.total_energy_j:.1f}",
+            f"{p.ratio:.2f}" if p.codec else "-",
+        ]
+        for p in advice.pareto
+    ]
+    print(
+        format_table(
+            ["f [GHz]", "codec", "REL", "t [s]", "E [J]", "ratio"],
+            rows,
+            title="time/energy Pareto frontier (fastest first)",
+        )
+    )
+    # The race/steady/chosen-deadline verdict is part of advice.rationale,
+    # printed above — no second formatting of the same numbers here.
+    return 0 if advice.compress else 1
+
+
 def _sweep_table(records) -> str:
     """Render engine records as a table; columns depend on the record type."""
     from repro.core.experiments import (
+        DvfsPoint,
         IOPoint,
         PipelinePoint,
         RoundtripRecord,
@@ -297,6 +360,20 @@ def _sweep_table(records) -> str:
     )
 
     first = records[0]
+    if isinstance(first, DvfsPoint):
+        headers = ["io", "dataset", "codec", "REL", "f [GHz]", "payload",
+                   "t_comp [s]", "t_io [s]", "E_comp [J]", "E_io [J]",
+                   "E_total [J]"]
+        rows = [
+            [p.io_library, p.dataset, p.codec or "original",
+             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
+             f"{p.freq_ghz:.2f}", si(p.bytes_written, "B"),
+             f"{p.compress_time_s:.3f}", f"{p.write_time_s:.3f}",
+             f"{p.compress_energy_j:.1f}", f"{p.write_energy_j:.1f}",
+             f"{p.total_energy_j:.1f}"]
+            for p in records
+        ]
+        return format_table(headers, rows)
     if isinstance(first, PipelinePoint):
         headers = ["io", "dataset", "codec", "REL", "chunks", "ovl", "payload",
                    "t_comp [s]", "t_write [s]", "t_total [s]", "saved [s]",
@@ -373,6 +450,7 @@ def _cmd_sweep(args) -> int:
             include_baseline=not args.no_baseline,
             n_chunks=args.n_chunks,
             overlap=not args.no_overlap,
+            freqs=tuple(float(f) for f in _csv(args.freqs)),
         )
     engine = SweepEngine(
         testbed=Testbed(scale=args.scale),

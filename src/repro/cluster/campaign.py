@@ -33,7 +33,13 @@ __all__ = ["CampaignResult", "MultiNodeCampaign"]
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Aggregate outcome of one campaign run."""
+    """Aggregate outcome of one campaign run.
+
+    ``n_ranks`` is the number of ranks actually simulated — equal to
+    ``total_cores``, with any remainder beyond full ``ranks_per_node`` nodes
+    placed on a partial last node.  ``ranks_per_node`` reports the *full*
+    node's rank count.
+    """
 
     codec: str | None  # None = uncompressed baseline
     total_cores: int
@@ -45,6 +51,8 @@ class CampaignResult:
     write_time_s: float  # makespan of the write phase
     bytes_per_rank: int
     written_bytes_total: int
+    n_ranks: int = 0  # ranks simulated (== total_cores)
+    freq_ghz: float | None = None  # DVFS pin; None = nominal clock
 
     @property
     def total_energy_j(self) -> float:
@@ -78,13 +86,65 @@ class MultiNodeCampaign:
         self.throughput = throughput or ThroughputModel()
         self.sample_interval = sample_interval
 
-    def _topology(self, total_cores: int) -> tuple[int, int]:
-        """Nodes and ranks/node for a requested core count (fill nodes)."""
+    def _topology(self, total_cores: int) -> tuple[int, int, int]:
+        """(nodes, ranks-per-full-node, remainder ranks on a partial node).
+
+        Nodes fill to ``cpu.cores`` ranks; a request that is not a multiple
+        leaves the remainder on a partial last node.  (The seed rounded the
+        rank count *up* to ``nodes * rpn``, silently simulating more ranks
+        than requested — e.g. 144 for 100 cores on the 48-core plat8160.)
+        """
         if total_cores < 1:
             raise ConfigurationError("total_cores must be >= 1")
         rpn = min(total_cores, self.cpu.cores)
-        nodes = -(-total_cores // rpn)
-        return nodes, rpn
+        full_nodes, rem = divmod(total_cores, rpn)
+        return full_nodes + (1 if rem else 0), rpn, rem
+
+    @staticmethod
+    def _accumulate_nodes(nodes, rpn, rem, node_energy) -> tuple[float, float]:
+        """Sum (compress J, write J) over the topology.
+
+        ``node_energy(ranks)`` measures one node carrying ``ranks`` ranks.
+        Full nodes are identical, so one is measured and scaled — the paper
+        sums PAPI over all nodes; the partial last node (if any) carries
+        fewer ranks/flows and is accounted separately.
+        """
+        full_nodes = nodes - (1 if rem else 0)
+        compress_j = 0.0
+        write_j = 0.0
+        if full_nodes:
+            c, w = node_energy(rpn)
+            compress_j += c * full_nodes
+            write_j += w * full_nodes
+        if rem:
+            c, w = node_energy(rem)
+            compress_j += c
+            write_j += w
+        return compress_j, write_j
+
+    def _compress_and_bytes(
+        self,
+        codec: str | None,
+        rel_bound: float,
+        compression_ratio: float,
+        freq_ghz: float | None,
+    ) -> tuple[float, int]:
+        """Per-rank compression time and output bytes for one configuration."""
+        if codec is None:
+            return 0.0, self.payload_nbytes
+        if compression_ratio <= 0:
+            raise ConfigurationError("compression_ratio must be positive")
+        t_comp = self.throughput.runtime(
+            codec,
+            "compress",
+            self.payload_nbytes,
+            rel_bound,
+            self.cpu,
+            threads=1,
+            complexity=self.complexity,
+            freq_ghz=freq_ghz,
+        )
+        return t_comp, max(1, int(round(self.payload_nbytes / compression_ratio)))
 
     def run(
         self,
@@ -92,34 +152,26 @@ class MultiNodeCampaign:
         codec: str | None,
         rel_bound: float = 1e-3,
         compression_ratio: float = 1.0,
+        freq_ghz: float | None = None,
     ) -> CampaignResult:
         """Simulate one campaign point.
 
         ``codec=None`` is the uncompressed baseline; otherwise
         ``compression_ratio`` must be the *measured* ratio of that codec on
         this dataset at ``rel_bound`` (the experiment drivers feed the real
-        value from the synthetic-data compression).
+        value from the synthetic-data compression).  ``freq_ghz`` pins every
+        node at that DVFS point (compression time and dynamic power scale;
+        PFS transfers do not).
         """
-        nodes, rpn = self._topology(total_cores)
-        n_ranks = nodes * rpn
+        nodes, rpn, rem = self._topology(total_cores)
+        n_ranks = total_cores
         cost = self.io.cost
+        if freq_ghz is not None:
+            freq_ghz = self.cpu.validate_freq(freq_ghz)
 
-        if codec is None:
-            t_comp = 0.0
-            out_bytes = self.payload_nbytes
-        else:
-            if compression_ratio <= 0:
-                raise ConfigurationError("compression_ratio must be positive")
-            t_comp = self.throughput.runtime(
-                codec,
-                "compress",
-                self.payload_nbytes,
-                rel_bound,
-                self.cpu,
-                threads=1,
-                complexity=self.complexity,
-            )
-            out_bytes = max(1, int(round(self.payload_nbytes / compression_ratio)))
+        t_comp, out_bytes = self._compress_and_bytes(
+            codec, rel_bound, compression_ratio, freq_ghz
+        )
 
         # Serialization is CPU work on every rank before the transfer.
         t_serialize = cost.serialize_seconds(out_bytes, self.cpu.speed)
@@ -134,36 +186,46 @@ class MultiNodeCampaign:
         finish = finish + cost.open_latency_s
         write_makespan = float(finish.max()) - t0
 
-        # Energy: all nodes are identical (same rank count, same flows), so
-        # measure one node and scale — the paper sums PAPI over all nodes.
-        node = NodeModel(self.cpu, sample_interval=self.sample_interval)
-        if t_comp > 0:
-            node.add_phase(t_comp, rpn, 1.0, "compress")
-        if t_serialize > 0:
-            node.add_phase(t_serialize, rpn, 1.0, "write")
-        # Stepped drain: the node's flows all finish at the same time under
-        # fair sharing, but guard for heterogeneous finish profiles anyway.
-        node_finishes = np.sort(finish[:rpn])
-        prev = t0
-        for k, tf in enumerate(node_finishes):
-            seg = float(tf) - prev
-            if seg > 1e-9:
-                active_flows = rpn - k
-                node.add_phase(seg, active_flows, cost.transfer_activity, "write")
-                prev = float(tf)
-        energy = node.measure()
+        def node_energy(ranks: int) -> tuple[float, float]:
+            """(compress J, write J) of one node carrying ``ranks`` ranks."""
+            # Full nodes own the first flows, the partial node the last ones.
+            finishes = finish[:ranks] if ranks == rpn else finish[n_ranks - ranks :]
+            node = NodeModel(
+                self.cpu, sample_interval=self.sample_interval, freq_ghz=freq_ghz
+            )
+            if t_comp > 0:
+                node.add_phase(t_comp, ranks, 1.0, "compress")
+            if t_serialize > 0:
+                node.add_phase(t_serialize, ranks, 1.0, "write")
+            # Stepped drain: the node's flows all finish at the same time
+            # under fair sharing, but guard for heterogeneous profiles anyway.
+            prev = t0
+            for k, tf in enumerate(np.sort(finishes)):
+                seg = float(tf) - prev
+                if seg > 1e-9:
+                    node.add_phase(seg, ranks - k, cost.transfer_activity, "write")
+                    prev = float(tf)
+            energy = node.measure()
+            return (
+                energy.by_label.get("compress", 0.0),
+                energy.by_label.get("write", 0.0),
+            )
+
+        compress_j, write_j = self._accumulate_nodes(nodes, rpn, rem, node_energy)
 
         return CampaignResult(
             codec=codec,
             total_cores=total_cores,
             nodes=nodes,
             ranks_per_node=rpn,
-            compress_energy_j=energy.by_label.get("compress", 0.0) * nodes,
-            write_energy_j=energy.by_label.get("write", 0.0) * nodes,
+            compress_energy_j=compress_j,
+            write_energy_j=write_j,
             compress_time_s=t_comp,
             write_time_s=t_serialize + write_makespan,
             bytes_per_rank=out_bytes,
             written_bytes_total=out_bytes * n_ranks,
+            n_ranks=n_ranks,
+            freq_ghz=freq_ghz,
         )
 
     def run_pipelined(
@@ -173,6 +235,7 @@ class MultiNodeCampaign:
         rel_bound: float = 1e-3,
         compression_ratio: float = 1.0,
         n_chunks: int = 8,
+        freq_ghz: float | None = None,
     ) -> CampaignResult:
         """One campaign point through the block-pipelined write model.
 
@@ -191,26 +254,15 @@ class MultiNodeCampaign:
         from repro.energy.measurement import EnergyMeter, Interval, Phase, compose_phases
         from repro.iolib.pipeline import stage_intervals, stage_schedule
 
-        nodes, rpn = self._topology(total_cores)
-        n_ranks = nodes * rpn
+        nodes, rpn, rem = self._topology(total_cores)
+        n_ranks = total_cores
         cost = self.io.cost
+        if freq_ghz is not None:
+            freq_ghz = self.cpu.validate_freq(freq_ghz)
 
-        if codec is None:
-            t_comp = 0.0
-            out_bytes = self.payload_nbytes
-        else:
-            if compression_ratio <= 0:
-                raise ConfigurationError("compression_ratio must be positive")
-            t_comp = self.throughput.runtime(
-                codec,
-                "compress",
-                self.payload_nbytes,
-                rel_bound,
-                self.cpu,
-                threads=1,
-                complexity=self.complexity,
-            )
-            out_bytes = max(1, int(round(self.payload_nbytes / compression_ratio)))
+        t_comp, out_bytes = self._compress_and_bytes(
+            codec, rel_bound, compression_ratio, freq_ghz
+        )
 
         sched = stage_schedule(out_bytes, t_comp, cost, self.cpu.speed, n_chunks)
 
@@ -241,43 +293,52 @@ class MultiNodeCampaign:
         drain_end = max(solo_drain_end, float(rank_finish.max()))
         makespan = drain_end + cost.open_latency_s
 
-        intervals = stage_intervals(
-            sched,
-            sched.arrivals + self.pfs.metadata_latency_s,
-            solo_finish,
-            cores=rpn,
-            transfer_activity=cost.transfer_activity,
+        meter = EnergyMeter(
+            self.cpu, sample_interval=self.sample_interval, freq_ghz=freq_ghz
         )
-        if drain_end > solo_drain_end:
-            # Contention stretches the drain past the solo pipeline: the
-            # node keeps its transfer threads busy until the backend frees.
-            intervals.append(
-                Interval(
-                    solo_drain_end, drain_end, rpn, cost.transfer_activity, "write"
-                )
+
+        def node_energy(ranks: int) -> tuple[float, float]:
+            """(compress J, write J) for one node carrying ``ranks`` ranks."""
+            intervals = stage_intervals(
+                sched,
+                sched.arrivals + self.pfs.metadata_latency_s,
+                solo_finish,
+                cores=ranks,
+                transfer_activity=cost.transfer_activity,
             )
-        # Close/commit tail, charged like run() and plan_pipelined_write do.
-        intervals.append(
-            Interval(drain_end, makespan, rpn, cost.transfer_activity, "write")
-        )
-        phases = compose_phases(intervals, max_cores=self.cpu.cores)
-        meter = EnergyMeter(self.cpu, sample_interval=self.sample_interval)
-        total_energy = meter.measure(phases).energy_j
-        if t_comp > 0:
-            compress_energy = meter.measure([Phase(t_comp, rpn, 1.0, "compress")]).energy_j
-        else:
-            compress_energy = 0.0
-        write_energy = max(0.0, total_energy - compress_energy)
+            if drain_end > solo_drain_end:
+                # Contention stretches the drain past the solo pipeline: the
+                # node keeps its transfer threads busy until the backend frees.
+                intervals.append(
+                    Interval(
+                        solo_drain_end, drain_end, ranks, cost.transfer_activity, "write"
+                    )
+                )
+            # Close/commit tail, charged like run() and plan_pipelined_write do.
+            intervals.append(
+                Interval(drain_end, makespan, ranks, cost.transfer_activity, "write")
+            )
+            phases = compose_phases(intervals, max_cores=self.cpu.cores)
+            total = meter.measure(phases).energy_j
+            if t_comp > 0:
+                compress = meter.measure([Phase(t_comp, ranks, 1.0, "compress")]).energy_j
+            else:
+                compress = 0.0
+            return compress, max(0.0, total - compress)
+
+        compress_j, write_j = self._accumulate_nodes(nodes, rpn, rem, node_energy)
 
         return CampaignResult(
             codec=codec,
             total_cores=total_cores,
             nodes=nodes,
             ranks_per_node=rpn,
-            compress_energy_j=compress_energy * nodes,
-            write_energy_j=write_energy * nodes,
+            compress_energy_j=compress_j,
+            write_energy_j=write_j,
             compress_time_s=t_comp,
             write_time_s=makespan - t_comp,
             bytes_per_rank=out_bytes,
             written_bytes_total=out_bytes * n_ranks,
+            n_ranks=n_ranks,
+            freq_ghz=freq_ghz,
         )

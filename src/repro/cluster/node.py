@@ -35,6 +35,7 @@ class NodeModel:
     cpu: CPUSpec
     name: str = "node"
     sample_interval: float = 0.010
+    freq_ghz: float | None = None  # DVFS pin; None = nominal clock
     _phases: list[Phase] = field(default_factory=list)
 
     def add_phase(
@@ -51,7 +52,9 @@ class NodeModel:
 
     def measure(self) -> NodeEnergy:
         """Integrate the timeline into labelled joules."""
-        meter = EnergyMeter(self.cpu, sample_interval=self.sample_interval)
+        meter = EnergyMeter(
+            self.cpu, sample_interval=self.sample_interval, freq_ghz=self.freq_ghz
+        )
         by_label: dict[str, float] = {}
         runtime = 0.0
         for ph in self._phases:

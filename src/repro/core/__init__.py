@@ -11,7 +11,12 @@
 
 from repro.core.formulation import BenefitConditions, CompressionPlan
 from repro.core.tradeoff import TradeoffAnalyzer, TradeoffRecord
-from repro.core.advisor import Advisor, Recommendation
+from repro.core.advisor import (
+    Advisor,
+    CompressionAdvice,
+    DvfsAdvisor,
+    Recommendation,
+)
 from repro.core.experiments import Testbed
 
 __all__ = [
@@ -20,6 +25,8 @@ __all__ = [
     "TradeoffAnalyzer",
     "TradeoffRecord",
     "Advisor",
+    "CompressionAdvice",
+    "DvfsAdvisor",
     "Recommendation",
     "Testbed",
 ]

@@ -1,11 +1,18 @@
-"""Compression advisor: the paper's "framework for informed decisions".
+"""Compression advisors: the paper's "framework for informed decisions".
 
-Given a dataset, a quality floor (Eq. 5) and an optimization objective, the
-advisor evaluates the (codec, bound) grid through
-:class:`~repro.core.tradeoff.TradeoffAnalyzer` and recommends the best plan
-that satisfies every benefit condition — encoding the paper's Section VII
-guidance (SZx/ZFP when energy-bound, SZ3/QoZ when storage-bound, tighter
-bounds only as the application's PSNR floor demands).
+Two layers answer the title question at different fidelities:
+
+- :class:`Advisor` evaluates the (codec, bound) grid at the nominal clock
+  through :class:`~repro.core.tradeoff.TradeoffAnalyzer` and recommends the
+  best plan satisfying every Section-III benefit condition.
+- :class:`DvfsAdvisor` opens the frequency axis: it searches the full
+  (frequency × codec × rel_bound) space per scenario, keeps the quality-
+  feasible points, computes the time/energy Pareto frontier, compares
+  race-to-idle against slow-and-steady for the winning configuration, and
+  emits a :class:`CompressionAdvice` record answering *compress or not, with
+  what, at what frequency* — the Ferragina–Tosoni observation that the
+  energy-optimal and throughput-optimal operating points diverge, applied to
+  compressed I/O.
 """
 
 from __future__ import annotations
@@ -16,7 +23,13 @@ from repro.core.formulation import CompressionPlan
 from repro.core.tradeoff import TradeoffAnalyzer, TradeoffRecord
 from repro.errors import ConfigurationError
 
-__all__ = ["Recommendation", "Advisor"]
+__all__ = [
+    "Recommendation",
+    "Advisor",
+    "CompressionAdvice",
+    "DvfsAdvisor",
+    "pareto_frontier",
+]
 
 _OBJECTIVES = ("energy", "ratio", "time")
 
@@ -115,4 +128,256 @@ class Advisor:
             rationale=rationale,
             record=best,
             alternatives=others,
+        )
+
+
+# -- the DVFS-aware advisor ---------------------------------------------------
+
+
+def pareto_frontier(points) -> tuple:
+    """Non-dominated subset of DVFS points in (total_time_s, total_energy_j).
+
+    A point survives unless another point is at least as fast *and* at least
+    as frugal (and strictly better on one axis).  Returned sorted by time,
+    fastest first — walking the tuple trades seconds for joules
+    monotonically.
+    """
+    pts = sorted(points, key=lambda p: (p.total_time_s, p.total_energy_j))
+    frontier = []
+    best_energy = float("inf")
+    for p in pts:
+        if p.total_energy_j < best_energy - 1e-12:
+            frontier.append(p)
+            best_energy = p.total_energy_j
+    return tuple(frontier)
+
+
+@dataclass(frozen=True)
+class CompressionAdvice:
+    """The DVFS advisor's verdict: compress or not, with what, at what clock.
+
+    ``race_to_idle_energy_j`` / ``slow_and_steady_energy_j`` compare the two
+    canonical DVFS policies for the *chosen* (codec, bound) family over a
+    common deadline — the family's slowest evaluated configuration.  Race
+    runs at ``fmax`` and idles out the window; slow-and-steady occupies the
+    window at the slowest clock.  Whichever is cheaper decides
+    ``prefer_race_to_idle``.
+    """
+
+    dataset: str
+    cpu: str
+    io_library: str
+    psnr_min_db: float
+    objective: str  # energy | time | ratio
+    compress: bool
+    codec: str | None  # None = write uncompressed
+    rel_bound: float | None
+    freq_ghz: float
+    time_s: float
+    energy_j: float
+    baseline_time_s: float  # uncompressed write at the nominal clock
+    baseline_energy_j: float
+    energy_saving_j: float
+    time_saving_s: float
+    race_to_idle_energy_j: float
+    slow_and_steady_energy_j: float
+    chosen_deadline_energy_j: float  # chosen point padded to the same window
+    prefer_race_to_idle: bool
+    pareto: tuple  # DvfsPoint frontier, fastest first
+    chosen: object  # the winning DvfsPoint
+    rationale: str
+
+    @property
+    def chosen_beats_both_policies(self) -> bool:
+        """True when the (interior) chosen frequency beats both extremes
+        under the common deadline — follow the chosen plan, not a policy."""
+        return self.chosen_deadline_energy_j < min(
+            self.race_to_idle_energy_j, self.slow_and_steady_energy_j
+        )
+
+
+class DvfsAdvisor:
+    """Search (frequency × codec × rel_bound) for the energy-optimal plan."""
+
+    def __init__(self, testbed=None, cpu_name: str = "plat8160", io_library: str = "hdf5"):
+        if testbed is None:
+            from repro.core.experiments import Testbed
+
+            testbed = Testbed()
+        self.testbed = testbed
+        self.cpu_name = cpu_name
+        self.io_library = io_library
+
+    def _grid(self, dataset, codecs, bounds, freqs):
+        return self.testbed.run_dvfs_sweep(
+            datasets=(dataset,),
+            codecs=codecs,
+            bounds=bounds,
+            freqs=freqs,
+            io_libraries=(self.io_library,),
+            cpu_name=self.cpu_name,
+            include_baseline=True,
+        )
+
+    def _race_vs_steady(
+        self, family, idle_power_w: float, chosen
+    ) -> tuple[float, float, float]:
+        """(race J, steady J, chosen-under-deadline J) over the family window.
+
+        ``family`` is one (codec, bound) configuration evaluated across the
+        frequency axis; the deadline is its slowest configuration's total
+        time.  Race runs at the fastest clock and pays node idle power for
+        the remainder; steady occupies the window at the slowest clock.  The
+        third value is the *chosen* frequency padded to the same deadline —
+        when the energy optimum is interior, it can beat both extremes, and
+        the advice must not steer the user to a worse extreme.
+        """
+        window = max(p.total_time_s for p in family)
+        fastest = min(family, key=lambda p: (p.total_time_s, p.total_energy_j))
+        slowest = max(family, key=lambda p: (p.total_time_s, -p.total_energy_j))
+        race = fastest.total_energy_j + idle_power_w * (window - fastest.total_time_s)
+        steady = slowest.total_energy_j
+        chosen_padded = chosen.total_energy_j + idle_power_w * (
+            window - chosen.total_time_s
+        )
+        return race, steady, chosen_padded
+
+    def advise(
+        self,
+        dataset: str,
+        psnr_min_db: float = 60.0,
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        freqs: tuple[float, ...] = (),
+        objective: str = "energy",
+        require_time_benefit: bool = False,
+    ) -> CompressionAdvice:
+        """Emit a :class:`CompressionAdvice` for one dataset/CPU/IO scenario.
+
+        The decision rule: among quality-feasible points (baseline included —
+        not compressing always meets the floor), pick the best configuration
+        under ``objective`` (``"energy"`` minimizes joules, ``"time"``
+        seconds, ``"ratio"`` maximizes compression ratio); ``compress`` is
+        whether that winner uses a codec.  ``require_time_benefit`` applies
+        the paper's strict Eq. 3 criterion: codec points must also beat the
+        nominal-clock uncompressed write in *both* time and energy.  Savings
+        are quoted against that same baseline, the testbed's pre-DVFS
+        operating point.
+        """
+        from repro.energy.cpus import get_cpu
+        from repro.energy.power import PowerModel
+
+        if objective not in _OBJECTIVES:
+            raise ConfigurationError(
+                f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+            )
+        cpu = get_cpu(self.cpu_name)
+        points = self._grid(dataset, codecs, bounds, freqs)
+        baseline_nom = self.testbed.engine.evaluate(
+            "dvfs_point",
+            dataset=dataset,
+            codec=None,
+            rel_bound=None,
+            freq_ghz=cpu.fnom_ghz,
+            io_library=self.io_library,
+            cpu_name=self.cpu_name,
+        )
+        quality_ok = [p for p in points if p.psnr_db >= psnr_min_db]
+        feasible = quality_ok
+        if require_time_benefit:
+            # Strict inequalities, matching Eq. 3/4 in formulation.py.
+            feasible = [
+                p
+                for p in quality_ok
+                if p.codec is None
+                or (
+                    p.total_time_s < baseline_nom.total_time_s
+                    and p.total_energy_j < baseline_nom.total_energy_j
+                )
+            ]
+        if not feasible:  # the uncompressed baseline (psnr = inf) is always in
+            raise ConfigurationError(
+                "DVFS grid produced no quality-feasible points; "
+                "was include_baseline disabled upstream?"
+            )
+        frontier = pareto_frontier(feasible)
+        if objective == "time":
+            chosen = min(
+                feasible, key=lambda p: (p.total_time_s, p.total_energy_j)
+            )
+        elif objective == "ratio":
+            # Not compressing has ratio 1.0, so any feasible codec point wins.
+            chosen = max(
+                feasible, key=lambda p: (p.ratio, -p.total_energy_j, p.freq_ghz)
+            )
+        else:
+            chosen = min(
+                feasible, key=lambda p: (p.total_energy_j, p.total_time_s, -p.freq_ghz)
+            )
+        # The race/steady policies are defined over the chosen configuration's
+        # *whole* frequency family — from quality_ok, not the strict-time
+        # filter, which would drop slow-clock members and silently redefine
+        # "slowest configuration" (and with it the deadline window).
+        family = [
+            p
+            for p in quality_ok
+            if p.codec == chosen.codec and p.rel_bound == chosen.rel_bound
+        ]
+        idle_w = PowerModel(cpu).node_idle_power()
+        race, steady, chosen_padded = self._race_vs_steady(family, idle_w, chosen)
+
+        e_save = baseline_nom.total_energy_j - chosen.total_energy_j
+        t_save = baseline_nom.total_time_s - chosen.total_time_s
+        what = (
+            f"{chosen.codec} @ REL {chosen.rel_bound:.0e}"
+            if chosen.codec
+            else "no compression"
+        )
+        if chosen_padded < min(race, steady):
+            policy_note = (
+                f"neither extreme policy wins — the chosen "
+                f"{chosen.freq_ghz:.2f} GHz point beats both under the same "
+                f"deadline ({chosen_padded:.0f} J vs race {race:.0f} J, "
+                f"steady {steady:.0f} J)"
+            )
+        else:
+            policy = "race-to-idle" if race <= steady else "slow-and-steady"
+            policy_note = (
+                f"under a fixed deadline {policy} wins (race {race:.0f} J vs "
+                f"steady {steady:.0f} J vs chosen-then-idle "
+                f"{chosen_padded:.0f} J); with no deadline, run the chosen "
+                f"point"
+            )
+        rationale = (
+            f"{dataset} on {self.cpu_name} via {self.io_library}: {what} at "
+            f"{chosen.freq_ghz:.2f} GHz is {objective}-optimal "
+            f"({chosen.total_energy_j:.0f} J, {chosen.total_time_s:.2f} s), "
+            f"saving {e_save:.0f} J and {t_save:.2f} s vs the uncompressed "
+            f"write at the nominal {cpu.fnom_ghz:.2f} GHz clock; Pareto "
+            f"frontier holds {len(frontier)} configuration(s); within the "
+            f"chosen codec family, {policy_note}."
+        )
+        return CompressionAdvice(
+            dataset=dataset,
+            cpu=self.cpu_name,
+            io_library=self.io_library,
+            psnr_min_db=psnr_min_db,
+            objective=objective,
+            compress=chosen.codec is not None,
+            codec=chosen.codec,
+            rel_bound=chosen.rel_bound,
+            freq_ghz=chosen.freq_ghz,
+            time_s=chosen.total_time_s,
+            energy_j=chosen.total_energy_j,
+            baseline_time_s=baseline_nom.total_time_s,
+            baseline_energy_j=baseline_nom.total_energy_j,
+            energy_saving_j=e_save,
+            time_saving_s=t_save,
+            race_to_idle_energy_j=race,
+            slow_and_steady_energy_j=steady,
+            chosen_deadline_energy_j=chosen_padded,
+            prefer_race_to_idle=race <= steady,
+            pareto=frontier,
+            chosen=chosen,
+            rationale=rationale,
         )

@@ -12,7 +12,7 @@ renders into the paper's rows/series.  Compression round-trips are memoized
 per (dataset, scale, codec, bound) — Figures 5/7/8/9 and Table III all share
 one sweep.  The grid drivers (``run_serial_sweep``, ``run_thread_sweep``,
 ``run_quality_table``, ``run_io_sweep``, ``run_pipeline_sweep``,
-``run_lossless_comparison``)
+``run_dvfs_sweep``, ``run_lossless_comparison``)
 delegate to the :mod:`repro.runtime` sweep engine, so whole evaluated points
 — not just round-trips — are memoized in the process-wide result store and
 can be fanned out over thread/process pools.
@@ -43,6 +43,7 @@ __all__ = [
     "SerialPoint",
     "IOPoint",
     "PipelinePoint",
+    "DvfsPoint",
     "InflationPoint",
     "Testbed",
 ]
@@ -144,6 +145,43 @@ class PipelinePoint:
 
 
 @dataclass(frozen=True)
+class DvfsPoint:
+    """One compress-and-write evaluation at an explicit core frequency.
+
+    The same scenario as :class:`IOPoint`, with the node pinned at
+    ``freq_ghz``: codec compute time scales on its compute-bound fraction
+    (roofline), dynamic power scales as ``(f/fnom)^gamma``, and the PFS
+    transfer itself is frequency-insensitive.  At ``f == fnom`` every field
+    matches :meth:`Testbed.io_point` bit for bit.  ``ratio``/``psnr_db``
+    carry the real round-trip quality (1.0 / +inf for the uncompressed
+    baseline) so the advisor can filter on a quality floor without a second
+    lookup.
+    """
+
+    dataset: str
+    codec: str | None  # None = uncompressed baseline
+    rel_bound: float | None
+    io_library: str
+    cpu: str
+    freq_ghz: float
+    bytes_written: int
+    compress_time_s: float
+    write_time_s: float
+    compress_energy_j: float
+    write_energy_j: float
+    ratio: float
+    psnr_db: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.compress_time_s + self.write_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compress_energy_j + self.write_energy_j
+
+
+@dataclass(frozen=True)
 class InflationPoint:
     """One Fig. 13 point: inflated NYX at paper scale."""
 
@@ -236,8 +274,10 @@ class Testbed:
 
     # -- energy primitives ----------------------------------------------------
 
-    def _meter(self, cpu: CPUSpec) -> EnergyMeter:
-        return EnergyMeter(cpu, sample_interval=self.sample_interval)
+    def _meter(self, cpu: CPUSpec, freq_ghz: float | None = None) -> EnergyMeter:
+        return EnergyMeter(
+            cpu, sample_interval=self.sample_interval, freq_ghz=freq_ghz
+        )
 
     def serial_point(
         self,
@@ -281,15 +321,23 @@ class Testbed:
         )
 
     def write_report(
-        self, nbytes: int, io_library: IOLibrary, cpu: CPUSpec
+        self,
+        nbytes: int,
+        io_library: IOLibrary,
+        cpu: CPUSpec,
+        freq_ghz: float | None = None,
     ) -> tuple[float, float]:
-        """(seconds, joules) to write ``nbytes`` through an I/O library."""
+        """(seconds, joules) to write ``nbytes`` through an I/O library.
+
+        ``freq_ghz`` pins the node's DVFS point for the *power* integration;
+        serialize and transfer durations are memory/network-bound and do not
+        move with the core clock.
+        """
         cost = io_library.cost
         t_ser = cost.serialize_seconds(nbytes, cpu.speed)
         t_io = self.pfs.single_write_seconds(nbytes, cost.bandwidth_efficiency)
         t_io += cost.open_latency_s
-        meter = self._meter(cpu)
-        report = meter.measure(
+        report = self._meter(cpu, freq_ghz).measure(
             [
                 Phase(t_ser, 1, 1.0, "serialize"),
                 Phase(t_io, 1, cost.transfer_activity, "transfer"),
@@ -522,6 +570,66 @@ class Testbed:
             write_energy_j=max(0.0, total_energy - e_c),
         )
 
+    def dvfs_point(
+        self,
+        dataset: str,
+        codec: str | None,
+        rel_bound: float | None,
+        freq_ghz: float,
+        io_library: str = "hdf5",
+        cpu_name: str = "max9480",
+    ) -> DvfsPoint:
+        """One compress-and-write evaluation with the node pinned at
+        ``freq_ghz``.
+
+        The codec's compute time scales on its compute-bound fraction
+        (:meth:`~repro.energy.throughput.ThroughputModel.freq_factor`), every
+        phase's dynamic power scales as ``(f/fnom)^gamma``, and the PFS
+        transfer and serialize durations stay frequency-insensitive.  At
+        ``f == fnom`` this reproduces :meth:`io_point` exactly.
+        """
+        spec = get_dataset(dataset)
+        cpu = get_cpu(cpu_name)
+        freq = cpu.validate_freq(freq_ghz)
+        lib = get_io_library(io_library)
+        if codec is None:
+            nbytes = spec.paper_nbytes
+            t_c, e_c = 0.0, 0.0
+            ratio, psnr_db = 1.0, float("inf")
+        else:
+            if rel_bound is None:
+                raise ConfigurationError("rel_bound required when codec is set")
+            rt = self.roundtrip(dataset, codec, rel_bound)
+            nbytes = max(1, int(round(spec.paper_nbytes / rt.ratio)))
+            ratio, psnr_db = rt.ratio, rt.psnr_db
+            t_c = self.throughput.runtime(
+                codec,
+                "compress",
+                spec.paper_nbytes,
+                rel_bound,
+                cpu,
+                threads=1,
+                complexity=spec.complexity,
+                freq_ghz=freq,
+            )
+            e_c = self._meter(cpu, freq).measure_compute(t_c, 1).energy_j
+        t_w, e_w = self.write_report(nbytes, lib, cpu, freq_ghz=freq)
+        return DvfsPoint(
+            dataset=dataset,
+            codec=codec,
+            rel_bound=rel_bound,
+            io_library=io_library,
+            cpu=cpu_name,
+            freq_ghz=freq,
+            bytes_written=nbytes,
+            compress_time_s=t_c,
+            write_time_s=t_w,
+            compress_energy_j=e_c,
+            write_energy_j=e_w,
+            ratio=ratio,
+            psnr_db=psnr_db,
+        )
+
     # -- figure/table drivers ---------------------------------------------------
 
     def run_serial_sweep(
@@ -636,6 +744,37 @@ class Testbed:
             )
         )
 
+    def run_dvfs_sweep(
+        self,
+        datasets=("cesm", "hacc", "nyx", "s3d"),
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        freqs: tuple[float, ...] = (),
+        io_libraries=("hdf5",),
+        cpu_name: str = "max9480",
+        include_baseline: bool = True,
+    ) -> list[DvfsPoint]:
+        """The compress-and-write grid swept along the DVFS frequency axis.
+
+        ``freqs=()`` uses the CPU's canonical
+        :meth:`~repro.energy.cpus.CPUSpec.freq_ladder`.  Points are memoized
+        in the result store like every other kind.
+        """
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(
+            SweepSpec(
+                kind="dvfs",
+                datasets=datasets,
+                codecs=codecs,
+                bounds=bounds,
+                freqs=freqs,
+                io_libraries=io_libraries,
+                cpus=(cpu_name,),
+                include_baseline=include_baseline,
+            )
+        )
+
     def run_lossless_comparison(
         self,
         datasets=("qmcpack", "isabel", "cesm", "exafel"),
@@ -665,6 +804,7 @@ class Testbed:
         cpu_name: str = "plat8160",
         io_library: str = "hdf5",
         payload_nbytes: int | None = None,
+        freq_ghz: float | None = None,
     ) -> list[CampaignResult]:
         """Fig. 12: N*R ranks compress + write vs the uncompressed baseline.
 
@@ -685,11 +825,17 @@ class Testbed:
         )
         out = []
         for n in cores:
-            out.append(campaign.run(n, None))
+            out.append(campaign.run(n, None, freq_ghz=freq_ghz))
             for codec in codecs:
                 rt = self.roundtrip(dataset, codec, rel_bound)
                 out.append(
-                    campaign.run(n, codec, rel_bound, compression_ratio=rt.ratio)
+                    campaign.run(
+                        n,
+                        codec,
+                        rel_bound,
+                        compression_ratio=rt.ratio,
+                        freq_ghz=freq_ghz,
+                    )
                 )
         return out
 

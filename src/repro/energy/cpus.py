@@ -22,7 +22,17 @@ __all__ = ["CPUSpec", "CPUS", "get_cpu", "PAPER_CPUS"]
 
 @dataclass(frozen=True)
 class CPUSpec:
-    """A node's CPU configuration and power/performance calibration."""
+    """A node's CPU configuration and power/performance calibration.
+
+    The DVFS envelope (``fmin_ghz``/``fnom_ghz``/``fmax_ghz``) follows the
+    published base and max-turbo clocks; ``speed`` and the power calibration
+    describe the node *at* ``fnom_ghz``, so every pre-DVFS code path — which
+    never passes a frequency — is implicitly evaluated at nominal and is
+    unchanged by these fields.  ``vf_gamma`` is the voltage-scaled dynamic
+    power exponent: P_dyn ∝ f·V² with V roughly linear in f over the DVFS
+    range gives an effective exponent of ~2.4 (Zordan et al.'s
+    processing-energy-per-cycle axis, made explicit).
+    """
 
     name: str
     model: str
@@ -35,10 +45,44 @@ class CPUSpec:
     speed: float  # per-core throughput relative to the Skylake 8160
     ram: str
     year: int
+    fmin_ghz: float = 1.0  # lowest DVFS operating point
+    fnom_ghz: float = 2.0  # base clock: the calibration point of `speed`
+    fmax_ghz: float = 3.0  # max turbo
+    vf_gamma: float = 2.4  # dynamic-power exponent under voltage scaling
+
+    def __post_init__(self):
+        if not 0.0 < self.fmin_ghz <= self.fnom_ghz <= self.fmax_ghz:
+            raise ValueError(
+                f"{self.name}: need 0 < fmin <= fnom <= fmax, got "
+                f"({self.fmin_ghz}, {self.fnom_ghz}, {self.fmax_ghz})"
+            )
+        if self.vf_gamma < 1.0:
+            raise ValueError("vf_gamma must be >= 1 (dynamic power grows with f)")
 
     @property
     def cores_per_socket(self) -> int:
         return self.cores // self.sockets
+
+    def validate_freq(self, freq_ghz: float) -> float:
+        """Check a frequency lies in the DVFS envelope; returns it as float."""
+        f = float(freq_ghz)
+        if not self.fmin_ghz <= f <= self.fmax_ghz:
+            raise ValueError(
+                f"{self.name}: freq {f} GHz outside DVFS range "
+                f"[{self.fmin_ghz}, {self.fmax_ghz}]"
+            )
+        return f
+
+    def freq_ladder(self) -> tuple[float, ...]:
+        """A canonical 5-step DVFS ladder: min, nominal, max plus midpoints."""
+        steps = {
+            self.fmin_ghz,
+            0.5 * (self.fmin_ghz + self.fnom_ghz),
+            self.fnom_ghz,
+            0.5 * (self.fnom_ghz + self.fmax_ghz),
+            self.fmax_ghz,
+        }
+        return tuple(sorted(steps))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.model} ({self.cores} cores, {self.tdp_w:.0f} W TDP)"
@@ -57,6 +101,9 @@ CPUS: dict[str, CPUSpec] = {
         speed=1.60,
         ram="128GB HBM2e",
         year=2023,
+        fmin_ghz=0.8,
+        fnom_ghz=1.9,
+        fmax_ghz=3.5,
     ),
     "plat8160": CPUSpec(
         name="plat8160",
@@ -70,6 +117,9 @@ CPUS: dict[str, CPUSpec] = {
         speed=1.0,
         ram="192GB DDR4",
         year=2017,
+        fmin_ghz=1.0,
+        fnom_ghz=2.1,
+        fmax_ghz=3.7,
     ),
     "plat8260m": CPUSpec(
         name="plat8260m",
@@ -83,6 +133,9 @@ CPUS: dict[str, CPUSpec] = {
         speed=0.62,
         ram="4TB DDR4",
         year=2019,
+        fmin_ghz=1.0,
+        fnom_ghz=2.4,
+        fmax_ghz=3.9,
     ),
 }
 

@@ -141,10 +141,12 @@ class EnergyMeter:
         cpu: CPUSpec,
         sample_interval: float = 0.010,
         alpha: float = 0.85,
+        freq_ghz: float | None = None,
     ):
         self.cpu = cpu
         self.sample_interval = sample_interval
-        self.power_model = PowerModel(cpu, alpha=alpha)
+        self.freq_ghz = freq_ghz
+        self.power_model = PowerModel(cpu, alpha=alpha, freq_ghz=freq_ghz)
 
     def measure(self, phases: list[Phase]) -> EnergyReport:
         """Run the phases on a fresh node and return the energy report."""

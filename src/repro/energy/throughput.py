@@ -24,12 +24,13 @@ CPU generation enters through :attr:`~repro.energy.cpus.CPUSpec.speed`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.energy.cpus import CPUSpec
 from repro.errors import ConfigurationError
 
-__all__ = ["CodecPerf", "ThroughputModel", "CODEC_PERF"]
+__all__ = ["CodecPerf", "ThroughputModel", "CODEC_PERF", "CODEC_MEM_BOUND"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,29 @@ CODEC_PERF: dict[str, CodecPerf] = {
     "fpc": CodecPerf(500.0, 700.0, 0.0, 0.10, 0.30, 0.002),
 }
 
+#: Roofline-style memory-bound fraction per codec: the share of runtime that
+#: does *not* speed up when the core clock rises (stream loads/stores, cache
+#: misses).  Kept outside :class:`CodecPerf` so the calibration table's repr
+#: — which feeds the sweep store's testbed fingerprint — is unchanged and
+#: every pre-DVFS cache key stays valid.  Values follow the codecs' design:
+#: SZx is a bandwidth-bound single-pass kernel, the SZ family and QoZ are
+#: prediction/entropy-dominated (compute-bound), ZFP sits in between, and
+#: the lossless baselines are throughput-oriented block copiers.
+CODEC_MEM_BOUND: dict[str, float] = {
+    "sz2": 0.30,
+    "sz3": 0.25,
+    "qoz": 0.25,
+    "zfp": 0.35,
+    "szx": 0.70,
+    "zstd": 0.45,
+    "blosc": 0.80,
+    "fpzip": 0.25,
+    "fpc": 0.55,
+}
+
+#: Fallback for codecs registered without a memory-bound calibration.
+DEFAULT_MEM_BOUND = 0.40
+
 
 class ThroughputModel:
     """Runtime model: ``runtime(codec, direction, nbytes, eps, cpu, threads)``."""
@@ -89,12 +113,30 @@ class ThroughputModel:
         perf = self.perf(codec)
         if perf.eps_slope == 0.0 or rel_bound <= 0:
             return 1.0
-        import math
-
         decades = max(0.0, -math.log10(rel_bound) - 1.0)  # 0 at 1e-1
         raw = 1.0 + perf.eps_slope * decades
         baseline = 1.0 + perf.eps_slope * 2.0  # value at 1e-3
         return raw / baseline
+
+    def mem_bound_frac(self, codec: str) -> float:
+        """Share of the codec's runtime that is memory-bandwidth-bound."""
+        self.perf(codec)  # unknown codecs fail loudly, like every other path
+        return CODEC_MEM_BOUND.get(codec, DEFAULT_MEM_BOUND)
+
+    def freq_factor(self, codec: str, freq_ghz: float | None, cpu: CPUSpec) -> float:
+        """Runtime multiplier at core frequency ``freq_ghz`` (1.0 at nominal).
+
+        Roofline split: only the compute-bound fraction of the codec's work
+        scales as ``fnom / f``; the memory-bound fraction is set by DRAM
+        bandwidth and does not move with the core clock.  Exactly 1.0 when
+        no frequency is given or at ``f == fnom``, keeping every pre-DVFS
+        result bit-identical.
+        """
+        if freq_ghz is None or freq_ghz == cpu.fnom_ghz:
+            return 1.0
+        f = cpu.validate_freq(freq_ghz)
+        m = self.mem_bound_frac(codec)
+        return m + (1.0 - m) * (cpu.fnom_ghz / f)
 
     def speedup(self, codec: str, threads: int, cpu: CPUSpec) -> float:
         """USL strong-scaling speedup, capped by physical cores."""
@@ -113,6 +155,7 @@ class ThroughputModel:
         cpu: CPUSpec,
         threads: int = 1,
         complexity: float = 1.0,
+        freq_ghz: float | None = None,
     ) -> float:
         """Modeled seconds for one (de)compression invocation.
 
@@ -120,6 +163,8 @@ class ThroughputModel:
         (entropy-heavy streams like HACC's jittery 1-D coordinates encode
         several times slower per byte than smooth doubles like S3D); the
         calibrated values live on :class:`repro.data.registry.DatasetSpec`.
+        ``freq_ghz`` applies the DVFS :meth:`freq_factor` to the whole
+        invocation (stream and setup alike); omitted = nominal clock.
         """
         perf = self.perf(codec)
         if direction == "compress":
@@ -138,4 +183,7 @@ class ThroughputModel:
         # is memory-parallel work, so it scales with the codec's speedup
         # just like the stream itself.
         total = base + perf.overhead_s / cpu.speed
+        factor = self.freq_factor(codec, freq_ghz, cpu)
+        if factor != 1.0:
+            total *= factor
         return total / self.speedup(codec, threads, cpu)

@@ -61,8 +61,14 @@ class MeasurementSummary:
 
     @property
     def rel_ci(self) -> float:
-        """CI half-width relative to the mean (0 for a zero mean)."""
-        return self.ci_halfwidth / self.mean if self.mean else 0.0
+        """CI half-width relative to |mean| (0 for a zero mean).
+
+        The magnitude is what matters — a negative-mean sample (energy
+        *savings*, time deltas) must not report a negative relative CI.
+        Matches :class:`AdaptiveRepeater`'s stop rule, which compares the
+        half-width against ``rel_tolerance * abs(mean)``.
+        """
+        return self.ci_halfwidth / abs(self.mean) if self.mean else 0.0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.mean:.6g} ± {self.ci_halfwidth:.3g} (n={self.n_runs})"
@@ -89,6 +95,8 @@ class AdaptiveRepeater:
     ):
         if max_runs < 1:
             raise ValueError("max_runs must be >= 1")
+        if rel_tolerance < 0:
+            raise ValueError("rel_tolerance must be non-negative")
         if min_runs < 1 or min_runs > max_runs:
             raise ValueError("need 1 <= min_runs <= max_runs")
         self.max_runs = max_runs

@@ -22,7 +22,16 @@ from repro.errors import ConfigurationError
 __all__ = ["GridPoint", "SweepSpec", "SWEEP_KINDS"]
 
 #: The supported grid shapes; each maps onto one ``Testbed`` driver.
-SWEEP_KINDS = ("serial", "thread", "quality", "io", "read", "lossless", "pipeline")
+SWEEP_KINDS = (
+    "serial",
+    "thread",
+    "quality",
+    "io",
+    "read",
+    "lossless",
+    "pipeline",
+    "dvfs",
+)
 
 
 @dataclass(frozen=True)
@@ -85,6 +94,9 @@ class SweepSpec:
     #: chunk count and stage overlap for the ``pipeline`` kind.
     n_chunks: int = 8
     overlap: bool = True
+    #: DVFS frequency axis in GHz (``dvfs`` kind); empty = each CPU's
+    #: canonical :meth:`~repro.energy.cpus.CPUSpec.freq_ladder`.
+    freqs: tuple[float, ...] = ()
 
     def __post_init__(self):
         if self.kind not in SWEEP_KINDS:
@@ -103,6 +115,7 @@ class SweepSpec:
         object.__setattr__(self, "rel_bound", float(self.rel_bound))
         object.__setattr__(self, "n_chunks", int(self.n_chunks))
         object.__setattr__(self, "overlap", bool(self.overlap))
+        object.__setattr__(self, "freqs", _tuple(self.freqs, float))
         if not self.threads:
             raise ConfigurationError("threads axis must not be empty")
         if self.n_chunks < 1:
@@ -221,6 +234,19 @@ class SweepSpec:
             )
             for p in self._points_io(op="pipeline_point")
         ]
+
+    def _points_dvfs(self) -> list[GridPoint]:
+        # Same grid as `io`, replicated along the frequency axis (innermost);
+        # an empty freqs axis means each CPU's canonical DVFS ladder.
+        from repro.energy.cpus import get_cpu
+
+        out = []
+        for p in self._points_io(op="dvfs_point"):
+            kwargs = p.as_kwargs()
+            freqs = self.freqs or get_cpu(kwargs["cpu_name"]).freq_ladder()
+            for f in freqs:
+                out.append(GridPoint.make("dvfs_point", freq_ghz=float(f), **kwargs))
+        return out
 
     # -- serialisation -------------------------------------------------------
 

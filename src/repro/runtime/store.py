@@ -127,6 +127,7 @@ def _record_types() -> dict:
     # Imported lazily: core.experiments must stay importable without the
     # runtime package (and vice versa at module-import time).
     from repro.core.experiments import (
+        DvfsPoint,
         IOPoint,
         PipelinePoint,
         RoundtripRecord,
@@ -135,7 +136,7 @@ def _record_types() -> dict:
 
     return {
         cls.__name__: cls
-        for cls in (RoundtripRecord, SerialPoint, IOPoint, PipelinePoint)
+        for cls in (RoundtripRecord, SerialPoint, IOPoint, PipelinePoint, DvfsPoint)
     }
 
 
@@ -168,6 +169,37 @@ def decode_record(payload: dict):
             value = decode_record(value)
         kwargs[key] = value
     return types[name](**kwargs)
+
+
+def _jsonsafe(value):
+    """Map non-finite floats to tagged tokens so disk entries stay RFC 8259.
+
+    Record fields can legitimately carry ±inf (a lossless round-trip's or an
+    uncompressed baseline's ``psnr_db``); ``json.dumps`` would emit bare
+    ``Infinity`` tokens that strict parsers reject — the same interop hole
+    :func:`_canonical_json` closes for cache keys.  The tag reuses the
+    ``__nonfinite__`` key already reserved by :func:`_canonical_params`.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"__nonfinite__": "NaN"}
+        return {"__nonfinite__": "Infinity" if value > 0 else "-Infinity"}
+    if isinstance(value, dict):
+        return {k: _jsonsafe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonsafe(v) for v in value]
+    return value
+
+
+def _from_jsonsafe(value):
+    """Inverse of :func:`_jsonsafe` (bare legacy Infinity floats pass through)."""
+    if isinstance(value, dict):
+        if set(value) == {"__nonfinite__"}:
+            return float(value["__nonfinite__"])
+        return {k: _from_jsonsafe(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_from_jsonsafe(v) for v in value]
+    return value
 
 
 # -- the store ----------------------------------------------------------------
@@ -214,7 +246,7 @@ class ResultStore:
             return None
         path = self._disk_path(key)
         try:
-            payload = json.loads(path.read_text())
+            payload = _from_jsonsafe(json.loads(path.read_text()))
             return decode_record(payload["record"])
         except FileNotFoundError:
             return None
@@ -231,7 +263,7 @@ class ResultStore:
         payload = {"version": CACHE_VERSION, "record": encode_record(record)}
         path = self._disk_path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
+        tmp.write_text(json.dumps(_jsonsafe(payload), allow_nan=False))
         os.replace(tmp, path)  # atomic: readers see old or new, never partial
 
     def __contains__(self, key: str) -> bool:

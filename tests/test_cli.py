@@ -104,6 +104,45 @@ class TestAdvise:
         assert "uncompressed" in capsys.readouterr().out
 
 
+class TestAdviseDvfs:
+    def test_dvfs_advice_prints_frontier_and_policy(self, capsys):
+        rc = main(
+            [
+                "advise", "--dataset", "cesm", "--dvfs", "--cpu", "plat8160",
+                "--scale", "tiny", "--freqs", "1.0,2.1,3.7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert "Pareto" in out and "GHz" in out
+        assert "race" in out and "steady" in out
+
+
+class TestSweepDvfs:
+    ARGS = [
+        "sweep", "--kind", "dvfs", "--datasets", "cesm", "--codecs", "szx",
+        "--bounds", "1e-3", "--io-libraries", "hdf5", "--cpus", "plat8160",
+        "--scale", "tiny", "--freqs", "1.0,3.7",
+    ]
+
+    def test_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "f [GHz]" in out and "szx" in out and "original" in out
+        assert "4 points" in out
+
+    def test_json_records(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert {r["__record__"] for r in records} == {"DvfsPoint"}
+        assert {r["freq_ghz"] for r in records} == {1.0, 3.7}
+        # Baseline psnr is emitted as the RFC-safe string form of infinity.
+        baselines = [r for r in records if r["codec"] is None]
+        assert baselines and all(r["psnr_db"] == "inf" for r in baselines)
+
+
 class TestSweep:
     ARGS = [
         "sweep", "--kind", "quality", "--datasets", "cesm",

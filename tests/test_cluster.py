@@ -170,6 +170,47 @@ class TestCampaign:
     def test_topology(self, campaign):
         r = campaign.run(512, None)
         assert r.nodes == 11 and r.ranks_per_node == 48
+        assert r.n_ranks == 512  # 10 full nodes + a partial 32-rank node
+
+    @pytest.mark.parametrize("cores", [16, 48, 96, 100, 512])
+    def test_simulated_ranks_match_request(self, campaign, cores):
+        """The seed rounded non-multiples up to nodes*rpn (100 -> 144 ranks on
+        the 48-core plat8160); the partial-node topology simulates exactly
+        what was asked for."""
+        r = campaign.run(cores, "sz3", 1e-3, compression_ratio=10.0)
+        assert r.n_ranks == cores
+        assert r.written_bytes_total == r.bytes_per_rank * cores
+        expected_nodes = -(-cores // min(cores, 48))
+        assert r.nodes == expected_nodes
+
+    @pytest.mark.parametrize("run_name", ["run", "run_pipelined"])
+    def test_partial_node_energy_between_neighbours(self, campaign, run_name):
+        """E(96 ranks) < E(100 ranks) < E(144 ranks): a 4-rank partial node
+        costs more than nothing and far less than a full extra node."""
+        runner = getattr(campaign, run_name)
+        e96 = runner(96, "sz3", 1e-3, 10.0).total_energy_j
+        e100 = runner(100, "sz3", 1e-3, 10.0).total_energy_j
+        e144 = runner(144, "sz3", 1e-3, 10.0).total_energy_j
+        assert e96 < e100 < e144
+
+    def test_divisible_totals_unchanged_by_partial_node_path(self, campaign):
+        """A divisible request is one full-node measurement scaled: doubling
+        the node count at fixed rpn doubles compression energy exactly."""
+        r1 = campaign.run(48, "sz3", 1e-3, 10.0)
+        r2 = campaign.run(96, "sz3", 1e-3, 10.0)
+        assert r2.compress_energy_j == pytest.approx(
+            2 * r1.compress_energy_j, rel=1e-12
+        )
+
+    def test_dvfs_campaign_point(self, campaign):
+        nom = campaign.run(48, "sz3", 1e-3, 10.0)
+        pinned = campaign.run(48, "sz3", 1e-3, 10.0, freq_ghz=campaign.cpu.fnom_ghz)
+        assert pinned.compress_energy_j == nom.compress_energy_j
+        assert pinned.freq_ghz == campaign.cpu.fnom_ghz and nom.freq_ghz is None
+        slow = campaign.run(48, "sz3", 1e-3, 10.0, freq_ghz=campaign.cpu.fmin_ghz)
+        assert slow.compress_time_s > nom.compress_time_s
+        with pytest.raises(ValueError):
+            campaign.run(48, "sz3", 1e-3, 10.0, freq_ghz=99.0)
 
     def test_bytes_accounting(self, campaign):
         r = campaign.run(32, "sz3", 1e-3, compression_ratio=10.0)

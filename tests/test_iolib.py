@@ -129,6 +129,32 @@ class TestFairShare:
         with pytest.raises(ConfigurationError):
             fair_share_schedule(np.zeros(1), np.ones(1), 0.0, 1.0)
 
+    def test_unsorted_arrivals_equal_sorted(self):
+        """Flow order in the input arrays must not matter: the schedule of a
+        shuffled instance is the same permutation of the sorted one."""
+        rng = np.random.default_rng(7)
+        arrivals = np.array([3.0, 0.0, 1.5, 0.5, 2.0, 1.5])
+        sizes = np.array([2e8, 5e8, 1e8, 3e8, 4e8, 1e8])
+        base = fair_share_schedule(arrivals, sizes, 500.0, 1200.0)
+        perm = rng.permutation(arrivals.size)
+        shuffled = fair_share_schedule(arrivals[perm], sizes[perm], 500.0, 1200.0)
+        np.testing.assert_allclose(shuffled, base[perm], rtol=1e-12)
+
+    def test_duplicate_arrivals_share_fairly(self):
+        """Ties in arrival time admit together and split the aggregate."""
+        finish = fair_share_schedule(
+            np.array([1.0, 1.0, 1.0, 1.0]), np.full(4, 1e9), 1000.0, 2000.0
+        )
+        # 4 GB through 2 GB/s, all admitted at t=1: done at t=3 together.
+        np.testing.assert_allclose(finish, 3.0, rtol=1e-6)
+
+    def test_duplicate_arrivals_with_zero_byte_flows(self):
+        finish = fair_share_schedule(
+            np.array([2.0, 2.0, 2.0]), np.array([0.0, 1e9, 0.0]), 1000.0, 8000.0
+        )
+        assert finish[0] == finish[2] == 2.0
+        assert finish[1] == pytest.approx(3.0)
+
     def test_zero_byte_flows_complete_at_arrival(self):
         """Empty flows used to burn solver iterations; now they are free."""
         arrivals = np.array([0.0, 1.0, 2.5])

@@ -83,6 +83,27 @@ class TestAdaptiveRepeater:
             AdaptiveRepeater(max_runs=0)
         with pytest.raises(ValueError):
             AdaptiveRepeater(max_runs=5, min_runs=9)
+        with pytest.raises(ValueError):
+            AdaptiveRepeater(rel_tolerance=-0.05)
+
+    def test_negative_mean_rel_ci_positive(self):
+        """rel_ci is a magnitude: negative-mean samples (energy *savings*,
+        time deltas) must not flip its sign."""
+        s = MeasurementSummary(-10.0, 0.5, 3, (-10.5, -10.0, -9.5))
+        assert s.rel_ci == pytest.approx(0.05)
+        assert s.rel_ci > 0
+
+    def test_zero_mean_rel_ci_zero(self):
+        assert MeasurementSummary(0.0, 0.5, 3, (-0.5, 0.0, 0.5)).rel_ci == 0.0
+
+    def test_negative_mean_measurements_converge(self):
+        """The stop rule and the reported rel_ci agree for negative means."""
+        vals = iter([-10.0, -10.01, -9.99, -10.0, -10.0] + [-10.0] * 20)
+        summary = AdaptiveRepeater(max_runs=25, rel_tolerance=0.05).run(
+            lambda: next(vals)
+        )
+        assert summary.n_runs < 25
+        assert 0 <= summary.rel_ci <= 0.05
 
     def test_summary_is_frozen(self):
         s = MeasurementSummary(1.0, 0.1, 3, (1.0, 1.0, 1.0))
