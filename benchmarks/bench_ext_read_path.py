@@ -26,13 +26,13 @@ def test_ext_read_path(benchmark, testbed, emit):
     table = [
         [
             codec,
-            f"{p.write_energy_j:.1f}",
-            f"{p.compress_energy_j:.1f}",
+            f"{p.fetch_energy_j:.1f}",
+            f"{p.decompress_energy_j:.1f}",
             f"{p.total_energy_j:.1f}",
-            f"{orig.write_energy_j / p.write_energy_j:.1f}x",
+            f"{orig.fetch_energy_j / p.fetch_energy_j:.1f}x",
         ]
         for codec, p in rows
-    ] + [["original", f"{orig.write_energy_j:.1f}", "0.0", f"{orig.write_energy_j:.1f}", "1.0x"]]
+    ] + [["original", f"{orig.fetch_energy_j:.1f}", "0.0", f"{orig.fetch_energy_j:.1f}", "1.0x"]]
     text = format_table(
         ["codec", "fetch E [J]", "decompress E [J]", "total [J]", "fetch reduction"],
         table,
@@ -43,7 +43,7 @@ def test_ext_read_path(benchmark, testbed, emit):
     # Fetching compressed bytes always beats fetching raw (the paper's
     # "doubly effective" claim is about this transfer term).
     for codec, p in rows:
-        assert p.write_energy_j < orig.write_energy_j, codec
+        assert p.fetch_energy_j < orig.fetch_energy_j, codec
     # The *total* read path (fetch + decompress) mirrors the write side:
     # codec work dominates for single streams, so the strict total benefit
     # fails here just as Eq. 4 usually fails on the write side — SZx comes

@@ -16,6 +16,9 @@ Compress: Energy Trade-Offs and Benefits of Lossy Compressed I/O"*
 - :mod:`repro.iolib` — HDF5-like and NetCDF-like containers over a
   Lustre-like parallel-file-system model;
 - :mod:`repro.cluster` — discrete-event multi-node compress+write campaigns;
+- :mod:`repro.workloads` — failure-aware checkpointed application lifetimes
+  (per-node MTTF failures, Young/Daly intervals, event-loop lifecycle
+  simulation) behind the ``checkpoint`` sweep kind and the Daly advisor;
 - :mod:`repro.core` — the Section-III trade-off formulation, the advisor,
   experiment drivers for every figure/table, and facility-scale
   extrapolation;

@@ -44,9 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro compress field.npy field.rpz --codec sz3 --rel-bound 1e-3\n"
             "  repro advise --dataset s3d --io netcdf --psnr-min 60\n"
             "  repro advise --dataset cesm --dvfs --freqs 1.0,2.1,3.7\n"
+            "  repro advise --dataset nyx --checkpoint --mttf 43200 --n-nodes 64\n"
             "  repro sweep --kind io --datasets cesm,s3d --executor process\n"
             "  repro sweep --kind pipeline --datasets nyx --n-chunks 16\n"
             "  repro sweep --kind dvfs --datasets cesm --cpus plat8160\n"
+            "  repro sweep --kind checkpoint --datasets cesm --mttfs inf,86400\n"
             "  repro sweep --spec grid.json --cache-dir .sweep-cache\n\n"
             "`repro sweep` evaluates a whole (dataset x codec x bound x CPU x\n"
             "I/O library) grid in one shot — in parallel and memoized, see\n"
@@ -97,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic data scale used for the real compression measurements",
     )
     p.add_argument(
+        "--codecs",
+        default="sz2,sz3,zfp,qoz,szx",
+        help="comma-separated codec grid the advisor searches",
+    )
+    p.add_argument(
+        "--bounds",
+        default="1e-1,1e-2,1e-3,1e-4,1e-5",
+        help="comma-separated REL error-bound grid the advisor searches",
+    )
+    p.add_argument(
         "--dvfs",
         action="store_true",
         help="search the (frequency x codec x bound) space and emit the "
@@ -107,6 +119,48 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated core frequencies in GHz for --dvfs "
         "(default: the CPU's canonical DVFS ladder)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="advise at whole-application scale: periodic checkpointing "
+        "under failures with the compression-aware Daly interval",
+    )
+    p.add_argument(
+        "--mttf",
+        type=float,
+        default=86400.0,
+        help="--checkpoint: per-node MTTF in seconds (default: one day)",
+    )
+    p.add_argument(
+        "--n-nodes",
+        type=int,
+        default=16,
+        help="--checkpoint: allocation width (system MTTF = --mttf / nodes)",
+    )
+    p.add_argument(
+        "--work",
+        type=float,
+        default=3600.0,
+        help="--checkpoint: failure-free compute seconds per lifetime",
+    )
+    p.add_argument(
+        "--interval",
+        default="daly",
+        help="--checkpoint: 'daly', 'young', or an explicit interval in "
+        "seconds between checkpoints",
+    )
+    p.add_argument(
+        "--downtime",
+        type=float,
+        default=60.0,
+        help="--checkpoint: node outage seconds per failure (idle power)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="--checkpoint: failure-history seed for the simulated records",
     )
 
     p = sub.add_parser(
@@ -168,6 +222,42 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="dvfs kind: comma-separated core frequencies in GHz "
         "(default: each CPU's canonical DVFS ladder)",
+    )
+    p.add_argument(
+        "--mttfs",
+        default="inf,86400,21600",
+        help="checkpoint kind: comma-separated per-node MTTFs in seconds "
+        "('inf' = failure-free control)",
+    )
+    p.add_argument(
+        "--work",
+        type=float,
+        default=3600.0,
+        help="checkpoint kind: failure-free compute seconds per lifetime",
+    )
+    p.add_argument(
+        "--interval",
+        default="daly",
+        help="checkpoint kind: 'daly', 'young', or explicit seconds "
+        "between checkpoints",
+    )
+    p.add_argument(
+        "--n-nodes",
+        type=int,
+        default=1,
+        help="checkpoint kind: allocation width (system MTTF = mttf / nodes)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="checkpoint kind: failure-history seed",
+    )
+    p.add_argument(
+        "--downtime",
+        type=float,
+        default=60.0,
+        help="checkpoint kind: node outage seconds per failure",
     )
     p.add_argument(
         "--executor",
@@ -287,8 +377,14 @@ def _cmd_advise(args) -> int:
     from repro.core.experiments import Testbed
     from repro.core.tradeoff import TradeoffAnalyzer
 
+    if args.dvfs and args.checkpoint:
+        print("--dvfs and --checkpoint are separate advisors; pick one",
+              file=sys.stderr)
+        return 2
     if args.dvfs:
         return _cmd_advise_dvfs(args)
+    if args.checkpoint:
+        return _cmd_advise_checkpoint(args)
     analyzer = TradeoffAnalyzer(
         Testbed(scale=args.scale), cpu_name=args.cpu, io_library=args.io
     )
@@ -296,6 +392,8 @@ def _cmd_advise(args) -> int:
         args.dataset,
         psnr_min_db=args.psnr_min,
         objective=args.objective,
+        codecs=_csv_arg(args.codecs),
+        bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
         require_time_benefit=args.strict_time,
     )
     print(rec.rationale)
@@ -321,6 +419,8 @@ def _cmd_advise_dvfs(args) -> int:
     advice = advisor.advise(
         args.dataset,
         psnr_min_db=args.psnr_min,
+        codecs=_csv_arg(args.codecs),
+        bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
         freqs=freqs,
         objective=args.objective,
         require_time_benefit=args.strict_time,
@@ -349,9 +449,68 @@ def _cmd_advise_dvfs(args) -> int:
     return 0 if advice.compress else 1
 
 
+def _csv_arg(text: str) -> tuple[str, ...]:
+    """Split a comma-separated flag, dropping empty items."""
+    return tuple(part for part in text.split(",") if part)
+
+
+def _interval_arg(text: str):
+    """Parse a checkpoint interval flag: a policy name or seconds."""
+    return text if text in ("daly", "young") else float(text)
+
+
+def _cmd_advise_checkpoint(args) -> int:
+    """`repro advise --checkpoint`: the failure-aware Daly advisor."""
+    from repro.core.advisor import DalyAdvisor
+    from repro.core.experiments import Testbed
+
+    advisor = DalyAdvisor(
+        Testbed(scale=args.scale), cpu_name=args.cpu, io_library=args.io
+    )
+    advice = advisor.advise(
+        args.dataset,
+        mttf_s=args.mttf,
+        n_nodes=args.n_nodes,
+        work_s=args.work,
+        psnr_min_db=args.psnr_min,
+        codecs=_csv_arg(args.codecs),
+        bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
+        interval=_interval_arg(args.interval),
+        seed=args.seed,
+        downtime_s=args.downtime,
+    )
+    print(advice.rationale)
+    ranked = sorted(advice.candidates, key=lambda p: p.expected_energy_j)
+    rows = [
+        [
+            p.codec or "original",
+            "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
+            f"{p.interval_s:.1f}",
+            p.n_checkpoints,
+            f"{p.expected_makespan_s:.0f}",
+            f"{p.expected_energy_j:.0f}",
+            f"{p.makespan_s:.0f}",
+            f"{p.total_energy_j:.0f}",
+            p.n_failures,
+        ]
+        for p in ranked
+    ]
+    print(
+        format_table(
+            ["codec", "REL", "tau [s]", "ckpts", "E[T] [s]", "E[J]",
+             "sim T [s]", "sim J", "fails"],
+            rows,
+            title="checkpointed lifetimes, cheapest expected energy first "
+            f"(seed {args.seed})",
+        )
+    )
+    return 0 if advice.compress else 1
+
+
 def _sweep_table(records) -> str:
     """Render engine records as a table; columns depend on the record type."""
     from repro.core.experiments import (
+        CheckpointPoint,
         DvfsPoint,
         IOPoint,
         PipelinePoint,
@@ -360,6 +519,20 @@ def _sweep_table(records) -> str:
     )
 
     first = records[0]
+    if isinstance(first, CheckpointPoint):
+        headers = ["io", "dataset", "codec", "REL", "MTTF [s]", "tau [s]",
+                   "ckpts", "fails", "T [s]", "E [J]", "E[T] [s]", "E[J]"]
+        rows = [
+            [p.io_library, p.dataset, p.codec or "original",
+             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
+             "inf" if p.mttf_s == float("inf") else f"{p.mttf_s:.0f}",
+             "inf" if p.interval_s == float("inf") else f"{p.interval_s:.1f}",
+             p.n_checkpoints, p.n_failures,
+             f"{p.makespan_s:.1f}", f"{p.total_energy_j:.1f}",
+             f"{p.expected_makespan_s:.1f}", f"{p.expected_energy_j:.1f}"]
+            for p in records
+        ]
+        return format_table(headers, rows)
     if isinstance(first, DvfsPoint):
         headers = ["io", "dataset", "codec", "REL", "f [GHz]", "payload",
                    "t_comp [s]", "t_io [s]", "E_comp [J]", "E_io [J]",
@@ -431,8 +604,7 @@ def _cmd_sweep(args) -> int:
     from repro.runtime.spec import SweepSpec
     from repro.runtime.store import ResultStore, encode_record
 
-    def _csv(text):
-        return tuple(part for part in text.split(",") if part)
+    _csv = _csv_arg
 
     if args.spec:
         with open(args.spec) as fh:
@@ -451,6 +623,12 @@ def _cmd_sweep(args) -> int:
             n_chunks=args.n_chunks,
             overlap=not args.no_overlap,
             freqs=tuple(float(f) for f in _csv(args.freqs)),
+            mttfs=tuple(float(m) for m in _csv(args.mttfs)),
+            work_s=args.work,
+            interval=_interval_arg(args.interval),
+            n_nodes=args.n_nodes,
+            seed=args.seed,
+            downtime_s=args.downtime,
         )
     engine = SweepEngine(
         testbed=Testbed(scale=args.scale),

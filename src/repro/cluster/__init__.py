@@ -10,7 +10,11 @@ driver behind Fig. 12.
 from repro.cluster.events import EventLoop, Process
 from repro.cluster.node import NodeModel
 from repro.cluster.mpi import SimComm
-from repro.cluster.campaign import CampaignResult, MultiNodeCampaign
+from repro.cluster.campaign import (
+    CampaignResult,
+    CheckpointCampaignResult,
+    MultiNodeCampaign,
+)
 
 __all__ = [
     "EventLoop",
@@ -18,5 +22,6 @@ __all__ = [
     "NodeModel",
     "SimComm",
     "CampaignResult",
+    "CheckpointCampaignResult",
     "MultiNodeCampaign",
 ]

@@ -28,7 +28,7 @@ from repro.errors import ConfigurationError
 from repro.iolib.base import IOLibrary
 from repro.iolib.pfs import PFSModel
 
-__all__ = ["CampaignResult", "MultiNodeCampaign"]
+__all__ = ["CampaignResult", "CheckpointCampaignResult", "MultiNodeCampaign"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,42 @@ class CampaignResult:
     @property
     def total_time_s(self) -> float:
         return self.compress_time_s + self.write_time_s
+
+
+@dataclass(frozen=True)
+class CheckpointCampaignResult:
+    """A checkpointed application lifetime at campaign (multi-node) scale.
+
+    ``write`` is the underlying campaign point pricing one checkpoint (its
+    compress+write makespan and energy); the lifetime itself is the
+    closed-form Daly model over the allocation's system MTTF
+    (``node_mttf_s / nodes``) — the event-loop simulator backs the
+    single-node :class:`~repro.core.experiments.CheckpointPoint` records,
+    while campaign scale uses the expectation model it was validated
+    against.
+    """
+
+    write: CampaignResult  # one checkpoint, priced by run()/run_pipelined()
+    node_mttf_s: float
+    work_s: float
+    interval_s: float
+    n_checkpoints: int
+    ckpt_time_s: float  # one checkpoint's wall time
+    ckpt_energy_j: float
+    restart_time_s: float  # fetch + decompress, whole allocation
+    restart_energy_j: float
+    downtime_s: float
+    expected_makespan_s: float
+    expected_failures: float
+    expected_energy_j: float
+
+    @property
+    def system_mttf_s(self) -> float:
+        return self.node_mttf_s / self.write.nodes
+
+    @property
+    def overhead_fraction(self) -> float:
+        return 1.0 - self.work_s / self.expected_makespan_s
 
 
 class MultiNodeCampaign:
@@ -341,4 +377,155 @@ class MultiNodeCampaign:
             written_bytes_total=out_bytes * n_ranks,
             n_ranks=n_ranks,
             freq_ghz=freq_ghz,
+        )
+
+    def _restart_cost(
+        self,
+        codec: str | None,
+        rel_bound: float,
+        out_bytes: int,
+        n_ranks: int,
+        nodes: int,
+        rpn: int,
+        rem: int,
+        freq_ghz: float | None,
+    ) -> tuple[float, float]:
+        """(seconds, joules) for the whole allocation to restart once.
+
+        Every rank fetches its last checkpoint concurrently through the
+        fair-share PFS model (reads share the write fabric model — the
+        conservative choice) and then decompresses it locally; energy is
+        accounted per node like the write phase.
+        """
+        cost = self.io.cost
+        finish = self.pfs.concurrent_write_times(
+            np.full(n_ranks, float(out_bytes)),
+            efficiency=cost.bandwidth_efficiency,
+        )
+        fetch_s = float(finish.max()) + cost.open_latency_s
+        if codec is None:
+            decomp_s = 0.0
+        else:
+            decomp_s = self.throughput.runtime(
+                codec,
+                "decompress",
+                self.payload_nbytes,
+                rel_bound,
+                self.cpu,
+                threads=1,
+                complexity=self.complexity,
+                freq_ghz=freq_ghz,
+            )
+
+        def node_energy(ranks: int) -> tuple[float, float]:
+            node = NodeModel(
+                self.cpu, sample_interval=self.sample_interval, freq_ghz=freq_ghz
+            )
+            node.add_phase(fetch_s, ranks, cost.transfer_activity, "restart")
+            if decomp_s > 0:
+                node.add_phase(decomp_s, ranks, 1.0, "restart")
+            energy = node.measure()
+            return (energy.by_label.get("restart", 0.0), 0.0)
+
+        restart_j, _ = self._accumulate_nodes(nodes, rpn, rem, node_energy)
+        return fetch_s + decomp_s, restart_j
+
+    def run_checkpointed(
+        self,
+        total_cores: int,
+        codec: str | None,
+        rel_bound: float = 1e-3,
+        compression_ratio: float = 1.0,
+        node_mttf_s: float = float("inf"),
+        work_s: float = 3600.0,
+        interval: str | float = "daly",
+        downtime_s: float = 60.0,
+        pipelined: bool = False,
+        n_chunks: int = 8,
+        freq_ghz: float | None = None,
+    ) -> CheckpointCampaignResult:
+        """A checkpointed application lifetime across the whole allocation.
+
+        One checkpoint is priced by :meth:`run` (or :meth:`run_pipelined`
+        when ``pipelined``); a restart fetches every rank's checkpoint back
+        through the shared PFS and decompresses it.  The lifetime is then
+        the closed-form Daly model at the allocation's system MTTF
+        (``node_mttf_s / nodes``): the optimal interval, expected failures,
+        expected makespan, and expected energy — compute charged at the
+        allocation's full-load power, downtime at its idle power.
+        """
+        from repro.energy.power import PowerModel
+        from repro.workloads.checkpoint import (
+            CheckpointSpec,
+            expected_energy,
+            expected_failures,
+            expected_makespan,
+            resolve_interval,
+        )
+
+        if pipelined:
+            write = self.run_pipelined(
+                total_cores,
+                codec,
+                rel_bound,
+                compression_ratio,
+                n_chunks=n_chunks,
+                freq_ghz=freq_ghz,
+            )
+        else:
+            write = self.run(
+                total_cores, codec, rel_bound, compression_ratio, freq_ghz=freq_ghz
+            )
+        nodes, rpn, rem = self._topology(total_cores)
+        restart_s, restart_j = self._restart_cost(
+            codec,
+            rel_bound,
+            write.bytes_per_rank,
+            write.n_ranks,
+            nodes,
+            rpn,
+            rem,
+            freq_ghz,
+        )
+
+        ckpt_s = write.total_time_s
+        ckpt_j = write.total_energy_j
+        system_mttf = node_mttf_s / nodes
+        tau = resolve_interval(interval, ckpt_s, system_mttf, restart_s)
+        spec = CheckpointSpec(
+            work_s=work_s,
+            interval_s=tau,
+            ckpt_s=ckpt_s,
+            restart_s=restart_s,
+            mttf_s=system_mttf,
+            downtime_s=downtime_s,
+        )
+
+        power = PowerModel(self.cpu, freq_ghz=freq_ghz)
+        full_nodes = nodes - (1 if rem else 0)
+        compute_w = full_nodes * power.node_power(rpn, 1.0)
+        if rem:
+            compute_w += power.node_power(rem, 1.0)
+        idle_w = nodes * power.node_idle_power()
+
+        return CheckpointCampaignResult(
+            write=write,
+            node_mttf_s=float(node_mttf_s),
+            work_s=float(work_s),
+            interval_s=tau,
+            n_checkpoints=spec.n_checkpoints,
+            ckpt_time_s=ckpt_s,
+            ckpt_energy_j=ckpt_j,
+            restart_time_s=restart_s,
+            restart_energy_j=restart_j,
+            downtime_s=float(downtime_s),
+            expected_makespan_s=expected_makespan(spec),
+            expected_failures=expected_failures(spec),
+            expected_energy_j=expected_energy(
+                spec,
+                compute_power_w=compute_w,
+                ckpt_energy_j=ckpt_j,
+                restart_energy_j=restart_j,
+                idle_power_w=idle_w,
+            ),
         )

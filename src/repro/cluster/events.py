@@ -36,13 +36,19 @@ class Event:
 
 
 class Process:
-    """A generator-backed simulated activity."""
+    """A generator-backed simulated activity.
+
+    ``result`` captures the generator's return value (``StopIteration.value``)
+    when it finishes, so lifecycle processes can hand their per-rank stats
+    back to the spawner instead of mutating shared state.
+    """
 
     def __init__(self, gen: Generator, name: str = ""):
         self.gen = gen
         self.name = name
         self.finished = False
         self.finish_time: float | None = None
+        self.result = None
 
 
 class EventLoop:
@@ -80,10 +86,12 @@ class EventLoop:
     def run(self, until: float | None = None) -> float:
         """Run until the queue drains (or virtual time passes ``until``)."""
         while self._queue:
-            when, _, proc = heapq.heappop(self._queue)
+            when, seq, proc = heapq.heappop(self._queue)
             if until is not None and when > until:
-                heapq.heappush(self._queue, (when, self._seq, proc))
-                self._seq += 1
+                # Re-push with the *original* sequence number: a fresh one
+                # would reorder same-timestamp ties after resume, making a
+                # paused-and-resumed run diverge from a straight-through one.
+                heapq.heappush(self._queue, (when, seq, proc))
                 self._now = until
                 return self._now
             self._now = max(self._now, when)
@@ -95,9 +103,10 @@ class EventLoop:
             return
         try:
             yielded = proc.gen.send(None)
-        except StopIteration:
+        except StopIteration as stop:
             proc.finished = True
             proc.finish_time = self._now
+            proc.result = stop.value
             return
         if isinstance(yielded, Event):
             if yielded.fired:

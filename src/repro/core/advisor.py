@@ -13,6 +13,11 @@ Two layers answer the title question at different fidelities:
   what, at what frequency* — the Ferragina–Tosoni observation that the
   energy-optimal and throughput-optimal operating points diverge, applied to
   compressed I/O.
+- :class:`DalyAdvisor` lifts the question to whole-application scale:
+  periodic checkpointing under failures, where compression shrinks the
+  checkpoint cost, shifts the Young/Daly-optimal interval, and changes the
+  expected wasted work — so the compress-or-not verdict can *flip* relative
+  to the single-write analysis.  It emits a :class:`CheckpointAdvice`.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ __all__ = [
     "Advisor",
     "CompressionAdvice",
     "DvfsAdvisor",
+    "CheckpointAdvice",
+    "DalyAdvisor",
     "pareto_frontier",
 ]
 
@@ -193,6 +200,197 @@ class CompressionAdvice:
         under the common deadline — follow the chosen plan, not a policy."""
         return self.chosen_deadline_energy_j < min(
             self.race_to_idle_energy_j, self.slow_and_steady_energy_j
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointAdvice:
+    """The Daly advisor's verdict: compress checkpoints or not, and whether
+    failure-awareness *flips* the single-write answer.
+
+    All energies are closed-form expectations (seed-independent);
+    ``chosen``/``candidates`` carry the full
+    :class:`~repro.core.experiments.CheckpointPoint` records, whose
+    simulated fields realize one concrete failure history.
+    ``flip_margin_j`` is the expected-energy gap between the best
+    uncompressed and best compressed lifetimes — positive means compression
+    wins at checkpoint scale by that many joules per run.
+    """
+
+    dataset: str
+    cpu: str
+    io_library: str
+    psnr_min_db: float
+    mttf_s: float  # per-node MTTF
+    n_nodes: int
+    work_s: float
+    compress: bool
+    codec: str | None
+    rel_bound: float | None
+    interval_s: float  # chosen configuration's Daly interval
+    baseline_interval_s: float  # uncompressed checkpoints' Daly interval
+    expected_energy_j: float
+    expected_makespan_s: float
+    baseline_energy_j: float  # best uncompressed lifetime
+    baseline_makespan_s: float
+    energy_saving_j: float
+    time_saving_s: float
+    single_write_compress: bool  # the paper's single-write verdict (Eq. 4)
+    flips: bool  # checkpoint scale disagrees with single-write scale
+    flip_margin_j: float
+    chosen: object  # winning CheckpointPoint
+    candidates: tuple  # every quality-feasible CheckpointPoint
+    rationale: str
+
+
+class DalyAdvisor:
+    """Failure-aware compress-or-not: search (codec × bound) checkpointed
+    lifetimes at a given MTTF and compare against uncompressed checkpoints.
+
+    The decisive quantity is the closed-form expected lifetime energy: a
+    smaller checkpoint shrinks both the per-checkpoint cost *and* — through
+    the shorter Daly interval — the expected rework per failure, which is
+    why compression can be energy-optimal here even when the single-write
+    Eq. 4 criterion says it is not.
+    """
+
+    def __init__(self, testbed=None, cpu_name: str = "plat8160", io_library: str = "hdf5"):
+        if testbed is None:
+            from repro.core.experiments import Testbed
+
+            testbed = Testbed()
+        self.testbed = testbed
+        self.cpu_name = cpu_name
+        self.io_library = io_library
+
+    def advise(
+        self,
+        dataset: str,
+        mttf_s: float = 86400.0,
+        n_nodes: int = 16,
+        work_s: float = 3600.0,
+        psnr_min_db: float = 60.0,
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+        interval: str | float = "daly",
+        seed: int = 0,
+        downtime_s: float = 60.0,
+        n_chunks: int = 1,
+        overlap: bool = False,
+    ) -> CheckpointAdvice:
+        """Emit a :class:`CheckpointAdvice` for one dataset/CPU/IO scenario."""
+        points = self.testbed.run_checkpoint_sweep(
+            datasets=(dataset,),
+            codecs=codecs,
+            bounds=bounds,
+            mttfs=(mttf_s,),
+            io_libraries=(self.io_library,),
+            cpu_name=self.cpu_name,
+            work_s=work_s,
+            interval=interval,
+            n_nodes=n_nodes,
+            seed=seed,
+            downtime_s=downtime_s,
+            n_chunks=n_chunks,
+            overlap=overlap,
+            include_baseline=True,
+        )
+        baseline = next(p for p in points if p.codec is None)
+        feasible = [p for p in points if p.psnr_db >= psnr_min_db]
+        chosen = min(
+            feasible, key=lambda p: (p.expected_energy_j, p.expected_makespan_s)
+        )
+        codec_pts = [p for p in feasible if p.codec is not None]
+        best_codec = (
+            min(codec_pts, key=lambda p: p.expected_energy_j) if codec_pts else None
+        )
+        flip_margin = (
+            baseline.expected_energy_j - best_codec.expected_energy_j
+            if best_codec is not None
+            else 0.0
+        )
+
+        # The single-write verdict on the same grid: does the best
+        # quality-feasible codec beat the uncompressed write in energy
+        # (Eq. 4) for one write, before failures enter the picture?
+        single_write_compress = False
+        base_io = self.testbed.engine.evaluate(
+            "io_point",
+            dataset=dataset,
+            codec=None,
+            rel_bound=None,
+            io_library=self.io_library,
+            cpu_name=self.cpu_name,
+        )
+        for p in codec_pts:
+            io = self.testbed.engine.evaluate(
+                "io_point",
+                dataset=dataset,
+                codec=p.codec,
+                rel_bound=p.rel_bound,
+                io_library=self.io_library,
+                cpu_name=self.cpu_name,
+            )
+            if io.total_energy_j < base_io.total_energy_j:
+                single_write_compress = True
+                break
+
+        compress = chosen.codec is not None
+        flips = compress != single_write_compress
+        e_save = baseline.expected_energy_j - chosen.expected_energy_j
+        t_save = baseline.expected_makespan_s - chosen.expected_makespan_s
+        what = (
+            f"{chosen.codec} @ REL {chosen.rel_bound:.0e}"
+            if chosen.codec
+            else "uncompressed checkpoints"
+        )
+        if flips:
+            flip_note = (
+                "failure-awareness FLIPS the single-write verdict "
+                f"({'compress' if compress else 'do not compress'} here, "
+                f"{'compress' if single_write_compress else 'do not compress'} "
+                f"for one write) by {abs(flip_margin):.0f} J per lifetime"
+            )
+        else:
+            flip_note = (
+                "the single-write verdict carries over "
+                f"(margin {flip_margin:.0f} J per lifetime)"
+            )
+        rationale = (
+            f"{dataset} on {self.cpu_name} via {self.io_library}, "
+            f"{n_nodes} node(s) at node MTTF {mttf_s:.0f} s "
+            f"({work_s:.0f} s of work): {what} minimizes expected lifetime "
+            f"energy ({chosen.expected_energy_j:.0f} J, "
+            f"{chosen.expected_makespan_s:.0f} s expected makespan, Daly "
+            f"interval {chosen.interval_s:.1f} s vs {baseline.interval_s:.1f} s "
+            f"uncompressed), saving {e_save:.0f} J and {t_save:.0f} s versus "
+            f"uncompressed checkpoints; {flip_note}."
+        )
+        return CheckpointAdvice(
+            dataset=dataset,
+            cpu=self.cpu_name,
+            io_library=self.io_library,
+            psnr_min_db=psnr_min_db,
+            mttf_s=float(mttf_s),
+            n_nodes=int(n_nodes),
+            work_s=float(work_s),
+            compress=compress,
+            codec=chosen.codec,
+            rel_bound=chosen.rel_bound,
+            interval_s=chosen.interval_s,
+            baseline_interval_s=baseline.interval_s,
+            expected_energy_j=chosen.expected_energy_j,
+            expected_makespan_s=chosen.expected_makespan_s,
+            baseline_energy_j=baseline.expected_energy_j,
+            baseline_makespan_s=baseline.expected_makespan_s,
+            energy_saving_j=e_save,
+            time_saving_s=t_save,
+            single_write_compress=single_write_compress,
+            flips=flips,
+            flip_margin_j=flip_margin,
+            chosen=chosen,
+            candidates=tuple(feasible),
+            rationale=rationale,
         )
 
 

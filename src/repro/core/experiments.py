@@ -12,7 +12,7 @@ renders into the paper's rows/series.  Compression round-trips are memoized
 per (dataset, scale, codec, bound) — Figures 5/7/8/9 and Table III all share
 one sweep.  The grid drivers (``run_serial_sweep``, ``run_thread_sweep``,
 ``run_quality_table``, ``run_io_sweep``, ``run_pipeline_sweep``,
-``run_dvfs_sweep``, ``run_lossless_comparison``)
+``run_dvfs_sweep``, ``run_checkpoint_sweep``, ``run_lossless_comparison``)
 delegate to the :mod:`repro.runtime` sweep engine, so whole evaluated points
 — not just round-trips — are memoized in the process-wide result store and
 can be fanned out over thread/process pools.
@@ -44,6 +44,7 @@ __all__ = [
     "IOPoint",
     "PipelinePoint",
     "DvfsPoint",
+    "CheckpointPoint",
     "InflationPoint",
     "Testbed",
 ]
@@ -107,6 +108,31 @@ class IOPoint:
     @property
     def total_energy_j(self) -> float:
         return self.write_energy_j + self.compress_energy_j
+
+    # -- read-path accessors --------------------------------------------------
+    # ``read_point`` reuses this record with write-named fields carrying the
+    # read-path costs.  These aliases give the read path proper names without
+    # touching the stored fields, so store keys and old callers are unchanged.
+
+    @property
+    def fetch_time_s(self) -> float:
+        """Read path: seconds to pull the bytes off the PFS."""
+        return self.write_time_s
+
+    @property
+    def fetch_energy_j(self) -> float:
+        """Read path: joules of the PFS fetch."""
+        return self.write_energy_j
+
+    @property
+    def decompress_time_s(self) -> float:
+        """Read path: codec seconds before analysis can start."""
+        return self.compress_time_s
+
+    @property
+    def decompress_energy_j(self) -> float:
+        """Read path: codec joules before analysis can start."""
+        return self.compress_energy_j
 
 
 @dataclass(frozen=True)
@@ -179,6 +205,86 @@ class DvfsPoint:
     @property
     def total_energy_j(self) -> float:
         return self.compress_energy_j + self.write_energy_j
+
+
+@dataclass(frozen=True)
+class CheckpointPoint:
+    """One failure-aware checkpointed application lifetime.
+
+    The per-checkpoint write cost fields (``ckpt_*``) are taken verbatim
+    from the existing write paths — :meth:`Testbed.io_point`,
+    :meth:`Testbed.pipeline_point`, or :meth:`Testbed.dvfs_point` depending
+    on ``n_chunks``/``freq_ghz`` — and the restart cost from
+    :meth:`Testbed.read_point`, so a failure-free single-checkpoint run
+    reproduces those records bit for bit.  The lifetime itself is simulated
+    on the deterministic event loop (:mod:`repro.workloads.lifecycle`) with
+    the explicit ``seed``; ``expected_*`` carry the closed-form Daly model
+    for the same configuration.
+
+    ``mttf_s`` is the *per-node* MTTF; the simulated system fails at
+    ``mttf_s / n_nodes`` (``inf`` = failure-free).
+    """
+
+    dataset: str
+    codec: str | None  # None = uncompressed checkpoints
+    rel_bound: float | None
+    io_library: str
+    cpu: str
+    mttf_s: float
+    n_nodes: int
+    work_s: float
+    interval: str | float  # policy as requested ("daly", "young", or seconds)
+    interval_s: float  # resolved checkpoint interval
+    seed: int
+    n_chunks: int
+    overlap: bool
+    freq_ghz: float | None
+    downtime_s: float
+    # per-checkpoint write cost (bit-identical to the underlying write path)
+    ckpt_compress_time_s: float
+    ckpt_write_time_s: float
+    ckpt_time_s: float  # wall time of one checkpoint (overlapped if pipelined)
+    ckpt_compress_energy_j: float
+    ckpt_write_energy_j: float
+    # restart cost (bit-identical to the read path)
+    restart_fetch_time_s: float
+    restart_decompress_time_s: float
+    restart_fetch_energy_j: float
+    restart_decompress_energy_j: float
+    # the simulated lifetime
+    makespan_s: float
+    n_checkpoints: int
+    n_failures: int
+    rework_s: float
+    compute_energy_j: float
+    checkpoint_energy_j: float
+    restart_energy_j: float
+    idle_energy_j: float
+    # closed-form Daly expectations for the same configuration
+    expected_makespan_s: float
+    expected_energy_j: float
+    # round-trip quality, for advisor filtering (1.0 / +inf for baseline)
+    ratio: float
+    psnr_db: float
+
+    @property
+    def restart_time_s(self) -> float:
+        return self.restart_fetch_time_s + self.restart_decompress_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Simulated lifetime energy: compute + checkpoints + restarts + idle."""
+        return (
+            self.compute_energy_j
+            + self.checkpoint_energy_j
+            + self.restart_energy_j
+            + self.idle_energy_j
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of the makespan not spent on useful work."""
+        return 1.0 - self.work_s / self.makespan_s if self.makespan_s > 0 else 0.0
 
 
 @dataclass(frozen=True)
@@ -346,19 +452,26 @@ class Testbed:
         return report.runtime_s, report.energy_j
 
     def read_report(
-        self, nbytes: int, io_library: IOLibrary, cpu: CPUSpec
+        self,
+        nbytes: int,
+        io_library: IOLibrary,
+        cpu: CPUSpec,
+        freq_ghz: float | None = None,
     ) -> tuple[float, float]:
         """(seconds, joules) to read ``nbytes`` back through an I/O library.
 
         The paper's Section VI-A remark — "pulling compressed data out of
         storage for analysis will have the same benefits" — made concrete:
-        a read is a transfer plus a deserialize pass.
+        a read is a transfer plus a deserialize pass.  ``freq_ghz`` pins the
+        DVFS point for the power integration, like :meth:`write_report`;
+        the transfer and deserialize durations are memory/network-bound and
+        do not move with the core clock.
         """
         cost = io_library.cost
         t_io = self.pfs.single_read_seconds(nbytes, cost.bandwidth_efficiency)
         t_io += cost.open_latency_s
         t_deser = cost.serialize_seconds(nbytes, cpu.speed)
-        meter = self._meter(cpu)
+        meter = self._meter(cpu, freq_ghz)
         report = meter.measure(
             [
                 Phase(t_io, 1, cost.transfer_activity, "transfer"),
@@ -630,6 +743,222 @@ class Testbed:
             psnr_db=psnr_db,
         )
 
+    def checkpoint_point(
+        self,
+        dataset: str,
+        codec: str | None,
+        rel_bound: float | None,
+        io_library: str = "hdf5",
+        cpu_name: str = "max9480",
+        mttf_s: float = float("inf"),
+        n_nodes: int = 1,
+        work_s: float = 3600.0,
+        interval: str | float = "daly",
+        seed: int = 0,
+        n_chunks: int = 1,
+        overlap: bool = False,
+        freq_ghz: float | None = None,
+        downtime_s: float = 60.0,
+    ) -> CheckpointPoint:
+        """One checkpointed application lifetime under failures.
+
+        The application computes ``work_s`` seconds (at the node's full core
+        count), checkpointing every ``interval`` seconds of progress —
+        ``"daly"``/``"young"`` resolve the closed-form optimal interval from
+        the checkpoint cost and the system MTTF ``mttf_s / n_nodes``.  Each
+        checkpoint write is priced by the existing compressed-I/O paths:
+        :meth:`io_point` (default), :meth:`pipeline_point` when
+        ``n_chunks > 1``, or :meth:`dvfs_point` when ``freq_ghz`` pins the
+        clock; restarts are priced by :meth:`read_point` (fetch +
+        decompress).  Failures are drawn per node from an explicit-seed
+        exponential model, the lifetime runs on the deterministic event
+        loop, and energy is integrated through ``Interval`` →
+        ``compose_phases`` with downtime charged at the power model's idle
+        watts.
+
+        With ``mttf_s=inf`` (one trailing checkpoint) the record reproduces
+        the underlying write path bit for bit: the final checkpoint *is* the
+        paper's single compressed write.
+        """
+        from repro.energy.measurement import compose_phases
+        from repro.energy.power import PowerModel
+        from repro.workloads.checkpoint import (
+            CheckpointSpec,
+            expected_energy,
+            expected_makespan,
+            resolve_interval,
+        )
+        from repro.workloads.failures import FailureModel
+        from repro.workloads.lifecycle import compact_intervals, run_lifecycle
+
+        cpu = get_cpu(cpu_name)
+        if freq_ghz is not None:
+            freq_ghz = cpu.validate_freq(freq_ghz)
+            if n_chunks > 1:
+                raise ConfigurationError(
+                    "pipelined checkpoints (n_chunks > 1) cannot be combined "
+                    "with a DVFS pin; pick one axis per point"
+                )
+            base = self.dvfs_point(
+                dataset, codec, rel_bound, freq_ghz, io_library, cpu_name
+            )
+            ckpt_time = base.compress_time_s + base.write_time_s
+        elif n_chunks > 1:
+            base = self.pipeline_point(
+                dataset,
+                codec,
+                rel_bound,
+                io_library=io_library,
+                cpu_name=cpu_name,
+                n_chunks=n_chunks,
+                overlap=overlap,
+            )
+            ckpt_time = base.total_time_s
+        else:
+            base = self.io_point(dataset, codec, rel_bound, io_library, cpu_name)
+            ckpt_time = base.compress_time_s + base.write_time_s
+        if freq_ghz is None:
+            restart = self.read_point(dataset, codec, rel_bound, io_library, cpu_name)
+            r_fetch_t, r_fetch_e = restart.fetch_time_s, restart.fetch_energy_j
+            r_dec_t, r_dec_e = (
+                restart.decompress_time_s,
+                restart.decompress_energy_j,
+            )
+        else:
+            # The restart must honour the DVFS pin like every other term:
+            # decompression scales on its roofline compute fraction, the
+            # fetch duration is clock-insensitive, and both integrate power
+            # at the pinned frequency (mirroring read_point at nominal).
+            spec_ds = get_dataset(dataset)
+            lib = get_io_library(io_library)
+            if codec is None:
+                r_nbytes = spec_ds.paper_nbytes
+                r_dec_t, r_dec_e = 0.0, 0.0
+            else:
+                rt_q = self.roundtrip(dataset, codec, rel_bound)
+                r_nbytes = max(1, int(round(spec_ds.paper_nbytes / rt_q.ratio)))
+                r_dec_t = self.throughput.runtime(
+                    codec,
+                    "decompress",
+                    spec_ds.paper_nbytes,
+                    rel_bound,
+                    cpu,
+                    threads=1,
+                    complexity=spec_ds.complexity,
+                    freq_ghz=freq_ghz,
+                )
+                r_dec_e = self._meter(cpu, freq_ghz).measure_compute(r_dec_t, 1).energy_j
+            r_fetch_t, r_fetch_e = self.read_report(
+                r_nbytes, lib, cpu, freq_ghz=freq_ghz
+            )
+
+        if codec is None:
+            ratio, psnr_db = 1.0, float("inf")
+        else:
+            rt = self.roundtrip(dataset, codec, rel_bound)
+            ratio, psnr_db = rt.ratio, rt.psnr_db
+
+        model = FailureModel(node_mttf_s=mttf_s, n_nodes=n_nodes)
+        restart_time = r_fetch_t + r_dec_t
+        tau = resolve_interval(interval, ckpt_time, model.system_mttf_s, restart_time)
+        spec = CheckpointSpec(
+            work_s=work_s,
+            interval_s=tau,
+            ckpt_s=ckpt_time,
+            restart_s=restart_time,
+            mttf_s=model.system_mttf_s,
+            downtime_s=downtime_s,
+        )
+        # Timeline labels carry a time-weighted checkpoint activity (compress
+        # at full load, transfer at the library's I/O activity); the record's
+        # checkpoint/restart *energies* are pro-rated from the exact write
+        # and read paths below, never re-integrated from these intervals.
+        cost = get_io_library(io_library).cost
+        ckpt_act = (
+            (base.compress_time_s + base.write_time_s * cost.transfer_activity)
+            / ckpt_time
+            if ckpt_time > 0
+            else 1.0
+        )
+        stats = run_lifecycle(
+            spec,
+            model.timeline(seed),
+            compute_cores=cpu.cores,
+            ckpt_cores=1,
+            ckpt_activity=min(1.0, ckpt_act),
+            restart_cores=1,
+            restart_activity=min(1.0, ckpt_act),
+        )
+
+        # Lifetimes run for hours: integrate through the wrap-safe splitter,
+        # not the single-window meter (a node-hour is several RAPL wraps).
+        meter = self._meter(cpu, freq_ghz)
+        compute_phases = compose_phases(
+            compact_intervals(stats.intervals, {"compute"}), max_cores=cpu.cores
+        )
+        compute_j = meter.measure_split(compute_phases).energy_j
+        down_phases = compose_phases(
+            compact_intervals(stats.intervals, {"down"}), max_cores=cpu.cores
+        )
+        idle_j = meter.measure_split(down_phases).energy_j
+
+        ckpt_energy = base.compress_energy_j + base.write_energy_j
+        restart_energy = r_fetch_e + r_dec_e
+        ckpt_j = stats.n_checkpoints * ckpt_energy
+        if ckpt_time > 0 and stats.ckpt_partial_s > 0:
+            ckpt_j += (stats.ckpt_partial_s / ckpt_time) * ckpt_energy
+        restart_j = stats.n_restarts * restart_energy
+        if restart_time > 0 and stats.restart_partial_s > 0:
+            restart_j += (stats.restart_partial_s / restart_time) * restart_energy
+
+        power = PowerModel(cpu, freq_ghz=freq_ghz)
+        exp_energy = expected_energy(
+            spec,
+            compute_power_w=power.node_power(cpu.cores, 1.0),
+            ckpt_energy_j=ckpt_energy,
+            restart_energy_j=restart_energy,
+            idle_power_w=power.node_idle_power(),
+        )
+
+        return CheckpointPoint(
+            dataset=dataset,
+            codec=codec,
+            rel_bound=rel_bound,
+            io_library=io_library,
+            cpu=cpu_name,
+            mttf_s=float(mttf_s),
+            n_nodes=int(n_nodes),
+            work_s=float(work_s),
+            interval=interval,
+            interval_s=tau,
+            seed=int(seed),
+            n_chunks=int(n_chunks),
+            overlap=bool(overlap),
+            freq_ghz=freq_ghz,
+            downtime_s=float(downtime_s),
+            ckpt_compress_time_s=base.compress_time_s,
+            ckpt_write_time_s=base.write_time_s,
+            ckpt_time_s=ckpt_time,
+            ckpt_compress_energy_j=base.compress_energy_j,
+            ckpt_write_energy_j=base.write_energy_j,
+            restart_fetch_time_s=r_fetch_t,
+            restart_decompress_time_s=r_dec_t,
+            restart_fetch_energy_j=r_fetch_e,
+            restart_decompress_energy_j=r_dec_e,
+            makespan_s=stats.makespan_s,
+            n_checkpoints=stats.n_checkpoints,
+            n_failures=stats.n_failures,
+            rework_s=stats.rework_s,
+            compute_energy_j=compute_j,
+            checkpoint_energy_j=ckpt_j,
+            restart_energy_j=restart_j,
+            idle_energy_j=idle_j,
+            expected_makespan_s=expected_makespan(spec),
+            expected_energy_j=exp_energy,
+            ratio=ratio,
+            psnr_db=psnr_db,
+        )
+
     # -- figure/table drivers ---------------------------------------------------
 
     def run_serial_sweep(
@@ -771,6 +1100,50 @@ class Testbed:
                 freqs=freqs,
                 io_libraries=io_libraries,
                 cpus=(cpu_name,),
+                include_baseline=include_baseline,
+            )
+        )
+
+    def run_checkpoint_sweep(
+        self,
+        datasets=("cesm", "hacc", "nyx", "s3d"),
+        codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
+        bounds=(1e-3,),
+        mttfs=(float("inf"), 86400.0, 21600.0),
+        io_libraries=("hdf5",),
+        cpu_name: str = "max9480",
+        work_s: float = 3600.0,
+        interval: str | float = "daly",
+        n_nodes: int = 1,
+        seed: int = 0,
+        downtime_s: float = 60.0,
+        n_chunks: int = 1,
+        overlap: bool = False,
+        include_baseline: bool = True,
+    ) -> list[CheckpointPoint]:
+        """The checkpointed-lifetime grid along the MTTF axis.
+
+        Every point is a full failure-aware lifetime (plus its closed-form
+        expectations), memoized in the result store like every other kind.
+        """
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(
+            SweepSpec(
+                kind="checkpoint",
+                datasets=datasets,
+                codecs=codecs,
+                bounds=bounds,
+                mttfs=mttfs,
+                io_libraries=io_libraries,
+                cpus=(cpu_name,),
+                work_s=work_s,
+                interval=interval,
+                n_nodes=n_nodes,
+                seed=seed,
+                downtime_s=downtime_s,
+                n_chunks=n_chunks,
+                overlap=overlap,
                 include_baseline=include_baseline,
             )
         )

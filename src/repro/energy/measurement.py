@@ -177,3 +177,31 @@ class EnergyMeter:
         return self.measure(
             [Phase(duration_s, min(threads, self.cpu.cores), activity, "compute")]
         )
+
+    #: Upper bound on one wrap-safe measurement window: 100 s at a 500 W
+    #: socket is 50 kJ, a 5x margin under the ~262 kJ RAPL wrap range.
+    MAX_WINDOW_S = 100.0
+
+    def measure_split(self, phases: list[Phase]) -> EnergyReport:
+        """Wrap-safe measurement for arbitrarily long workloads.
+
+        :meth:`measure` reads each zone counter once before and once after
+        the window, so a workload depositing more than the RAPL wrap range
+        (~262 kJ per zone — about six node-minutes at TDP) would silently
+        lose a whole wrap in the single delta.  Application *lifetimes*
+        (checkpointed runs spanning hours) need this variant: every phase is
+        cut into sub-wrap windows, each measured on its own node, and the
+        reports are summed — the same per-segment pattern the multi-node
+        campaign's :class:`~repro.cluster.node.NodeModel` uses.
+        """
+        total: EnergyReport | None = None
+        for ph in phases:
+            remaining = ph.duration_s
+            while remaining > 1e-12:
+                d = min(remaining, self.MAX_WINDOW_S)
+                rep = self.measure([Phase(d, ph.active_cores, ph.activity, ph.label)])
+                total = rep if total is None else total + rep
+                remaining -= d
+        if total is None:
+            return EnergyReport(0.0, 0.0, (0.0,) * self.cpu.sockets, 0)
+        return total

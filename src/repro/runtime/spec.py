@@ -31,6 +31,7 @@ SWEEP_KINDS = (
     "lossless",
     "pipeline",
     "dvfs",
+    "checkpoint",
 )
 
 
@@ -97,6 +98,17 @@ class SweepSpec:
     #: DVFS frequency axis in GHz (``dvfs`` kind); empty = each CPU's
     #: canonical :meth:`~repro.energy.cpus.CPUSpec.freq_ladder`.
     freqs: tuple[float, ...] = ()
+    #: per-node MTTF axis in seconds (``checkpoint`` kind); ``inf`` is the
+    #: failure-free control that reduces to the plain write paths.
+    mttfs: tuple[float, ...] = (float("inf"), 86400.0, 21600.0)
+    #: checkpoint-kind scenario: failure-free compute seconds per lifetime,
+    #: interval policy ("daly"/"young" or explicit seconds), allocation
+    #: width, failure-history seed, and per-failure node downtime.
+    work_s: float = 3600.0
+    interval: str | float = "daly"
+    n_nodes: int = 1
+    seed: int = 0
+    downtime_s: float = 60.0
 
     def __post_init__(self):
         if self.kind not in SWEEP_KINDS:
@@ -116,10 +128,39 @@ class SweepSpec:
         object.__setattr__(self, "n_chunks", int(self.n_chunks))
         object.__setattr__(self, "overlap", bool(self.overlap))
         object.__setattr__(self, "freqs", _tuple(self.freqs, float))
+        object.__setattr__(self, "mttfs", _tuple(self.mttfs, float))
+        object.__setattr__(self, "work_s", float(self.work_s))
+        object.__setattr__(self, "n_nodes", int(self.n_nodes))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "downtime_s", float(self.downtime_s))
+        if not isinstance(self.interval, str):
+            object.__setattr__(self, "interval", float(self.interval))
         if not self.threads:
             raise ConfigurationError("threads axis must not be empty")
         if self.n_chunks < 1:
             raise ConfigurationError("n_chunks must be >= 1")
+        if self.kind == "checkpoint":
+            # Validate the whole scenario eagerly: a bad spec must fail at
+            # construction (spec-file parse time), not per grid point inside
+            # a worker pool.
+            if not self.mttfs:
+                raise ConfigurationError("mttfs axis must not be empty")
+            if any(m <= 0 for m in self.mttfs):
+                raise ConfigurationError("every mttf must be positive")
+            if isinstance(self.interval, str):
+                if self.interval not in ("daly", "young"):
+                    raise ConfigurationError(
+                        f"unknown interval policy {self.interval!r}; expected "
+                        "'daly', 'young', or a number of seconds"
+                    )
+            elif not self.interval > 0:
+                raise ConfigurationError("explicit interval must be positive")
+            if not self.work_s > 0:
+                raise ConfigurationError("work_s must be positive")
+            if self.downtime_s < 0:
+                raise ConfigurationError("downtime_s must be >= 0")
+            if self.n_nodes < 1:
+                raise ConfigurationError("n_nodes must be >= 1")
 
     # -- expansion -----------------------------------------------------------
 
@@ -234,6 +275,30 @@ class SweepSpec:
             )
             for p in self._points_io(op="pipeline_point")
         ]
+
+    def _points_checkpoint(self) -> list[GridPoint]:
+        # The `io` grid replicated along the per-node MTTF axis (innermost).
+        # The pipeline (n_chunks/overlap) and scenario fields ride along on
+        # every point; the default n_chunks=1 prices checkpoints through the
+        # sequential write path, n_chunks>1 through the pipelined one.
+        out = []
+        for p in self._points_io(op="checkpoint_point"):
+            for mttf in self.mttfs:
+                out.append(
+                    GridPoint.make(
+                        "checkpoint_point",
+                        mttf_s=float(mttf),
+                        work_s=self.work_s,
+                        interval=self.interval,
+                        n_nodes=self.n_nodes,
+                        seed=self.seed,
+                        downtime_s=self.downtime_s,
+                        n_chunks=self.n_chunks,
+                        overlap=self.overlap,
+                        **p.as_kwargs(),
+                    )
+                )
+        return out
 
     def _points_dvfs(self) -> list[GridPoint]:
         # Same grid as `io`, replicated along the frequency axis (innermost);

@@ -127,6 +127,7 @@ def _record_types() -> dict:
     # Imported lazily: core.experiments must stay importable without the
     # runtime package (and vice versa at module-import time).
     from repro.core.experiments import (
+        CheckpointPoint,
         DvfsPoint,
         IOPoint,
         PipelinePoint,
@@ -136,7 +137,14 @@ def _record_types() -> dict:
 
     return {
         cls.__name__: cls
-        for cls in (RoundtripRecord, SerialPoint, IOPoint, PipelinePoint, DvfsPoint)
+        for cls in (
+            RoundtripRecord,
+            SerialPoint,
+            IOPoint,
+            PipelinePoint,
+            DvfsPoint,
+            CheckpointPoint,
+        )
     }
 
 

@@ -1,0 +1,108 @@
+"""Node failure model: per-node exponential MTTF, merged to system scale.
+
+The standard HPC resilience model (Young 1974, Daly 2006): every node fails
+independently with exponentially distributed inter-failure times of mean
+``node_mttf_s`` (failed nodes are swapped from the spare pool, so each node
+is a memoryless Poisson source).  An application spanning ``n_nodes`` dies
+when *any* of its nodes dies, so its system-level failure process is the
+superposition of the per-node processes — again Poisson, with
+
+    system MTTF = node MTTF / n_nodes
+
+which is the scaling that makes checkpointing progressively more important
+as machines grow.  :class:`FailureTimeline` realizes one concrete failure
+history from an explicit seed: per-node arrival streams are drawn lazily
+(each node gets its own :class:`numpy.random.Generator` spawned from one
+``SeedSequence``) and merged through a heap, so the same seed always yields
+the same byte-identical history regardless of how far it is consumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FailureModel", "FailureTimeline"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-node exponential failures, scaled to an ``n_nodes`` application.
+
+    ``node_mttf_s=inf`` disables failures entirely (the timeline is empty),
+    which is what reduces the checkpoint simulator to the failure-free
+    compress-and-write paths.
+    """
+
+    node_mttf_s: float
+    n_nodes: int = 1
+
+    def __post_init__(self):
+        if not self.node_mttf_s > 0:
+            raise ConfigurationError("node_mttf_s must be positive")
+        if self.n_nodes < 1:
+            raise ConfigurationError("n_nodes must be >= 1")
+        object.__setattr__(self, "node_mttf_s", float(self.node_mttf_s))
+        object.__setattr__(self, "n_nodes", int(self.n_nodes))
+
+    @property
+    def failure_free(self) -> bool:
+        return math.isinf(self.node_mttf_s)
+
+    @property
+    def system_mttf_s(self) -> float:
+        """Mean time between failures of the whole allocation."""
+        return self.node_mttf_s / self.n_nodes
+
+    def timeline(self, seed: int) -> "FailureTimeline":
+        """A deterministic failure history for ``seed``."""
+        return FailureTimeline(self, seed)
+
+
+class FailureTimeline:
+    """Lazy, deterministic merge of the per-node failure streams.
+
+    ``next_after(t)`` returns the first failure time strictly greater than
+    ``t`` (or ``None`` when the model is failure-free).  The merge keeps one
+    pending arrival per node in a heap, refilling the popped node's stream
+    from its own RNG — so consumption order cannot perturb the history and
+    two timelines built from the same (model, seed) agree arrival for
+    arrival.
+    """
+
+    def __init__(self, model: FailureModel, seed: int):
+        self.model = model
+        self.seed = int(seed)
+        self.n_failures_drawn = 0
+        self._heap: list[tuple[float, int]] = []
+        self._rngs: list[np.random.Generator] = []
+        if not model.failure_free:
+            children = np.random.SeedSequence(self.seed).spawn(model.n_nodes)
+            self._rngs = [np.random.default_rng(c) for c in children]
+            for node, rng in enumerate(self._rngs):
+                heapq.heappush(
+                    self._heap, (float(rng.exponential(model.node_mttf_s)), node)
+                )
+
+    def next_after(self, t: float) -> float | None:
+        """First failure time strictly after ``t``; None if failure-free."""
+        if not self._heap:
+            return None
+        # Failures during downtime hit a node that is already down; skip them
+        # (the merged process is memoryless, so skipping keeps the law exact).
+        while self._heap[0][0] <= t:
+            self._advance()
+        return self._heap[0][0]
+
+    def _advance(self) -> None:
+        when, node = heapq.heappop(self._heap)
+        rng = self._rngs[node]
+        heapq.heappush(
+            self._heap, (when + float(rng.exponential(self.model.node_mttf_s)), node)
+        )
+        self.n_failures_drawn += 1

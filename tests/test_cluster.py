@@ -83,6 +83,62 @@ class TestEventLoop:
         t = loop.run(until=5.0)
         assert t == 5.0
 
+    def test_pause_resume_preserves_tie_order(self):
+        """Regression: the process popped at the `until` boundary used to be
+        re-pushed with a *fresh* sequence number, so pausing and resuming
+        reordered same-timestamp ties versus a straight-through run."""
+
+        def schedule(loop, trace):
+            def make(name):
+                def proc():
+                    yield 5.0
+                    trace.append(name)
+
+                return proc
+
+            for n in ("a", "b", "c"):
+                loop.spawn(make(n)())
+
+        straight: list[str] = []
+        loop = EventLoop()
+        schedule(loop, straight)
+        loop.run()
+
+        paused: list[str] = []
+        loop = EventLoop()
+        schedule(loop, paused)
+        # Pause right before the tied wakeups, then resume: 'a' is popped at
+        # the boundary and must keep its place at the front of the tie.
+        loop.run(until=4.0)
+        loop.run()
+        assert straight == ["a", "b", "c"]
+        assert paused == straight
+
+    def test_process_result_captures_return_value(self):
+        loop = EventLoop()
+
+        def worker(rank):
+            yield 1.0
+            return {"rank": rank, "steps": 1}
+
+        procs = [loop.spawn(worker(r)) for r in range(3)]
+        loop.run()
+        assert [p.result for p in procs] == [
+            {"rank": 0, "steps": 1},
+            {"rank": 1, "steps": 1},
+            {"rank": 2, "steps": 1},
+        ]
+
+    def test_process_result_defaults_to_none(self):
+        loop = EventLoop()
+
+        def plain():
+            yield 0.5
+
+        p = loop.spawn(plain())
+        loop.run()
+        assert p.finished and p.result is None
+
 
 class TestSimComm:
     def test_barrier_releases_all_at_last_arrival(self):

@@ -241,3 +241,68 @@ class TestEnergyMeter:
             t = tm.runtime("szx", "compress", 10**9, 1e-3, cpu, threads)
             e[threads] = meter.measure_compute(t, threads).energy_j
         assert e[64] < e[1]
+
+
+class TestComposePhasesConservation:
+    """Property: overlaying intervals conserves the core.activity load
+    integral — the energy the overlaid timeline deposits equals the sum of
+    what the input intervals would deposit alone (no max_cores clamp)."""
+
+    @staticmethod
+    def _load_integral_intervals(intervals):
+        from repro.energy.measurement import Interval  # noqa: F401
+
+        return sum(
+            (iv.end_s - iv.start_s) * iv.active_cores * iv.activity
+            for iv in intervals
+        )
+
+    @staticmethod
+    def _load_integral_phases(phases):
+        return sum(p.duration_s * p.active_cores * p.activity for p in phases)
+
+    def test_energy_conserved_under_arbitrary_overlap(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.energy.measurement import Interval, compose_phases
+
+        starts = st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False)
+        # Durations include exact zero: zero-length intervals must vanish
+        # without contributing energy or phantom segments.
+        durations = st.one_of(
+            st.just(0.0), st.floats(0.0, 20.0, allow_nan=False, allow_infinity=False)
+        )
+        interval = st.builds(
+            lambda s, d, c, a: Interval(s, s + d, c, a, "x"),
+            starts,
+            durations,
+            st.integers(0, 8),
+            st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+        )
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.lists(interval, min_size=0, max_size=12))
+        def check(intervals):
+            phases = compose_phases(intervals)
+            want = self._load_integral_intervals(intervals)
+            got = self._load_integral_phases(phases)
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-7)
+            # The composed timeline spans first start .. last end exactly.
+            live = [iv for iv in intervals if iv.end_s - iv.start_s > 1e-12]
+            if live:
+                span = max(iv.end_s for iv in live) - min(iv.start_s for iv in live)
+                assert sum(p.duration_s for p in phases) == pytest.approx(
+                    span, rel=1e-9, abs=1e-9
+                )
+            else:
+                assert phases == []
+
+        check()
+
+    def test_zero_length_intervals_drop_out(self):
+        from repro.energy.measurement import Interval, compose_phases
+
+        a = Interval(0.0, 1.0, 2, 0.5, "a")
+        z = Interval(0.5, 0.5, 7, 1.0, "z")
+        assert compose_phases([a, z]) == compose_phases([a])
