@@ -28,7 +28,7 @@ from repro import __version__
 from repro.compressors import available_compressors, get_compressor
 from repro.compressors.base import Compressor
 from repro.core.report import format_table, si
-from repro.runtime.spec import SWEEP_KINDS
+from repro.runtime import registry
 
 __all__ = ["main", "build_parser"]
 
@@ -178,87 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--kind",
         default="serial",
-        choices=SWEEP_KINDS,
-        help="grid shape; each kind maps onto one Testbed driver",
+        help="experiment kind, looked up in the runtime registry "
+        f"(registered: {', '.join(registry.kind_names())})",
     )
-    p.add_argument("--datasets", default="cesm,hacc,nyx,s3d", help="comma-separated")
-    p.add_argument("--codecs", default="sz2,sz3,zfp,qoz,szx", help="comma-separated")
-    p.add_argument(
-        "--bounds",
-        default="1e-1,1e-2,1e-3,1e-4,1e-5",
-        help="comma-separated REL error bounds",
-    )
-    p.add_argument("--cpus", default="max9480", help="comma-separated Table-I names")
-    p.add_argument("--io-libraries", default="hdf5,netcdf", help="comma-separated")
-    p.add_argument(
-        "--threads",
-        default="1",
-        help="comma-separated thread counts (axis for --kind thread)",
-    )
-    p.add_argument(
-        "--rel-bound",
-        type=float,
-        default=1e-3,
-        help="single bound used by the thread/lossless kinds",
-    )
-    p.add_argument(
-        "--no-baseline",
-        action="store_true",
-        help="io/read/pipeline kinds: skip the uncompressed baseline points",
-    )
-    p.add_argument(
-        "--n-chunks",
-        type=int,
-        default=8,
-        help="pipeline kind: chunks streamed through the compress-write pipeline",
-    )
-    p.add_argument(
-        "--no-overlap",
-        action="store_true",
-        help="pipeline kind: disable stage overlap (sequential control run)",
-    )
-    p.add_argument(
-        "--freqs",
-        default="",
-        help="dvfs kind: comma-separated core frequencies in GHz "
-        "(default: each CPU's canonical DVFS ladder)",
-    )
-    p.add_argument(
-        "--mttfs",
-        default="inf,86400,21600",
-        help="checkpoint kind: comma-separated per-node MTTFs in seconds "
-        "('inf' = failure-free control)",
-    )
-    p.add_argument(
-        "--work",
-        type=float,
-        default=3600.0,
-        help="checkpoint kind: failure-free compute seconds per lifetime",
-    )
-    p.add_argument(
-        "--interval",
-        default="daly",
-        help="checkpoint kind: 'daly', 'young', or explicit seconds "
-        "between checkpoints",
-    )
-    p.add_argument(
-        "--n-nodes",
-        type=int,
-        default=1,
-        help="checkpoint kind: allocation width (system MTTF = mttf / nodes)",
-    )
-    p.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="checkpoint kind: failure-history seed",
-    )
-    p.add_argument(
-        "--downtime",
-        type=float,
-        default=60.0,
-        help="checkpoint kind: node outage seconds per failure",
-    )
+    # The grid-axis flags are generated from the registry: exactly the axes
+    # some registered experiment kind consumes, in the canonical order.  A
+    # plugin kind's axes appear here automatically on registration.
+    for axis in registry.cli_axes():
+        if axis.parse in ("invert", "flag"):
+            p.add_argument(axis.flag, action="store_true", help=axis.help)
+        elif axis.parse == "float":
+            p.add_argument(axis.flag, type=float, default=axis.default, help=axis.help)
+        elif axis.parse == "int":
+            p.add_argument(axis.flag, type=int, default=axis.default, help=axis.help)
+        else:
+            p.add_argument(axis.flag, default=axis.default, help=axis.help)
     p.add_argument(
         "--executor",
         default="serial",
@@ -507,93 +441,22 @@ def _cmd_advise_checkpoint(args) -> int:
     return 0 if advice.compress else 1
 
 
-def _sweep_table(records) -> str:
-    """Render engine records as a table; columns depend on the record type."""
-    from repro.core.experiments import (
-        CheckpointPoint,
-        DvfsPoint,
-        IOPoint,
-        PipelinePoint,
-        RoundtripRecord,
-        SerialPoint,
-    )
+def _sweep_table(records, kind_name: str | None = None) -> str:
+    """Render engine records via the kind's registered table renderer.
 
-    first = records[0]
-    if isinstance(first, CheckpointPoint):
-        headers = ["io", "dataset", "codec", "REL", "MTTF [s]", "tau [s]",
-                   "ckpts", "fails", "T [s]", "E [J]", "E[T] [s]", "E[J]"]
-        rows = [
-            [p.io_library, p.dataset, p.codec or "original",
-             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
-             "inf" if p.mttf_s == float("inf") else f"{p.mttf_s:.0f}",
-             "inf" if p.interval_s == float("inf") else f"{p.interval_s:.1f}",
-             p.n_checkpoints, p.n_failures,
-             f"{p.makespan_s:.1f}", f"{p.total_energy_j:.1f}",
-             f"{p.expected_makespan_s:.1f}", f"{p.expected_energy_j:.1f}"]
-            for p in records
-        ]
-        return format_table(headers, rows)
-    if isinstance(first, DvfsPoint):
-        headers = ["io", "dataset", "codec", "REL", "f [GHz]", "payload",
-                   "t_comp [s]", "t_io [s]", "E_comp [J]", "E_io [J]",
-                   "E_total [J]"]
-        rows = [
-            [p.io_library, p.dataset, p.codec or "original",
-             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
-             f"{p.freq_ghz:.2f}", si(p.bytes_written, "B"),
-             f"{p.compress_time_s:.3f}", f"{p.write_time_s:.3f}",
-             f"{p.compress_energy_j:.1f}", f"{p.write_energy_j:.1f}",
-             f"{p.total_energy_j:.1f}"]
-            for p in records
-        ]
-        return format_table(headers, rows)
-    if isinstance(first, PipelinePoint):
-        headers = ["io", "dataset", "codec", "REL", "chunks", "ovl", "payload",
-                   "t_comp [s]", "t_write [s]", "t_total [s]", "saved [s]",
-                   "E_total [J]"]
-        rows = [
-            [p.io_library, p.dataset, p.codec or "original",
-             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
-             p.n_chunks, "on" if p.overlap else "off", si(p.bytes_written, "B"),
-             f"{p.compress_time_s:.3f}", f"{p.write_time_s:.3f}",
-             f"{p.total_time_s:.3f}", f"{p.overlap_saving_s:.3f}",
-             f"{p.total_energy_j:.1f}"]
-            for p in records
-        ]
-        return format_table(headers, rows)
-    if isinstance(first, SerialPoint):
-        headers = ["dataset", "codec", "REL", "cpu", "thr", "t_comp [s]",
-                   "t_dec [s]", "E_comp [J]", "E_dec [J]", "ratio", "PSNR [dB]"]
-        rows = [
-            [p.dataset, p.codec, f"{p.rel_bound:.0e}", p.cpu, p.threads,
-             f"{p.compress_time_s:.3f}", f"{p.decompress_time_s:.3f}",
-             f"{p.compress_energy_j:.1f}", f"{p.decompress_energy_j:.1f}",
-             f"{p.roundtrip.ratio:.2f}", f"{p.roundtrip.psnr_db:.1f}"]
-            for p in records
-        ]
-    elif isinstance(first, IOPoint):
-        headers = ["io", "dataset", "codec", "REL", "payload", "t_io [s]",
-                   "E_io [J]", "t_codec [s]", "E_codec [J]", "E_total [J]"]
-        rows = [
-            [p.io_library, p.dataset, p.codec or "original",
-             "-" if p.rel_bound is None else f"{p.rel_bound:.0e}",
-             si(p.bytes_written, "B"), f"{p.write_time_s:.3f}",
-             f"{p.write_energy_j:.1f}", f"{p.compress_time_s:.3f}",
-             f"{p.compress_energy_j:.1f}", f"{p.total_energy_j:.1f}"]
-            for p in records
-        ]
-    elif isinstance(first, RoundtripRecord):
-        headers = ["dataset", "codec", "REL", "ratio", "PSNR [dB]", "max rel err"]
-        rows = [
-            [r.dataset, r.codec, f"{r.rel_bound:.0e}", f"{r.ratio:.2f}",
-             f"{r.psnr_db:.1f}" if r.psnr_db != float("inf") else "inf",
-             f"{r.max_rel_err:.2e}"]
-            for r in records
-        ]
-    else:  # pragma: no cover - future record types
-        headers = ["record"]
-        rows = [[repr(r)] for r in records]
-    return format_table(headers, rows)
+    Without a ``kind_name`` (or for a kind that declares no table) the
+    renderer is matched by record class; a plugin with neither gets a
+    generic one-column repr table.
+    """
+    if kind_name is not None:
+        kind = registry.get_kind(kind_name)
+        if kind.table is not None:
+            return kind.table(records)
+    name = type(records[0]).__name__
+    for kind in registry.all_kinds():
+        if kind.table is not None and kind.record == name:
+            return kind.table(records)
+    return format_table(["record"], [[repr(r)] for r in records])
 
 
 def _cmd_sweep(args) -> int:
@@ -602,34 +465,20 @@ def _cmd_sweep(args) -> int:
     from repro.core.experiments import Testbed
     from repro.runtime.engine import SweepEngine
     from repro.runtime.spec import SweepSpec
-    from repro.runtime.store import ResultStore, encode_record
-
-    _csv = _csv_arg
+    from repro.runtime.store import ResultStore
 
     if args.spec:
         with open(args.spec) as fh:
             spec = SweepSpec.from_json(fh.read())
     else:
-        spec = SweepSpec(
-            kind=args.kind,
-            datasets=_csv(args.datasets),
-            codecs=_csv(args.codecs),
-            bounds=tuple(float(b) for b in _csv(args.bounds)),
-            cpus=_csv(args.cpus),
-            io_libraries=_csv(args.io_libraries),
-            threads=tuple(int(t) for t in _csv(args.threads)),
-            rel_bound=args.rel_bound,
-            include_baseline=not args.no_baseline,
-            n_chunks=args.n_chunks,
-            overlap=not args.no_overlap,
-            freqs=tuple(float(f) for f in _csv(args.freqs)),
-            mttfs=tuple(float(m) for m in _csv(args.mttfs)),
-            work_s=args.work,
-            interval=_interval_arg(args.interval),
-            n_nodes=args.n_nodes,
-            seed=args.seed,
-            downtime_s=args.downtime,
-        )
+        # Every registry axis flag maps straight onto its SweepSpec field;
+        # the spec itself rejects an unknown --kind (naming the known ones)
+        # and runs the kind's registered validation.
+        axes = {
+            axis.field: registry.axis_spec_value(axis, getattr(args, axis.dest))
+            for axis in registry.cli_axes()
+        }
+        spec = SweepSpec(kind=args.kind, **axes)
     engine = SweepEngine(
         testbed=Testbed(scale=args.scale),
         store=ResultStore(cache_dir=args.cache_dir),
@@ -641,20 +490,11 @@ def _cmd_sweep(args) -> int:
         print("sweep expanded to zero grid points", file=sys.stderr)
         return 1
     if args.json:
-        import math as _math
-
-        def _finite(value):
-            # Lossless round-trips carry psnr_db=inf; keep the emitted
-            # JSON RFC-valid (json.dumps would print bare `Infinity`).
-            if isinstance(value, float) and not _math.isfinite(value):
-                return repr(value)
-            if isinstance(value, dict):
-                return {k: _finite(v) for k, v in value.items()}
-            return value
-
-        print(_json.dumps([_finite(encode_record(r)) for r in records], indent=2))
+        # Lossless round-trips carry psnr_db=inf; registry.to_wire keeps
+        # the emitted JSON RFC-valid (json.dumps would print `Infinity`).
+        print(_json.dumps(registry.to_wire(records), indent=2))
     else:
-        print(_sweep_table(records))
+        print(_sweep_table(records, kind_name=spec.kind))
         stats = engine.store.stats
         print(
             f"\n{len(records)} points: {engine.stats.computed} computed, "

@@ -27,6 +27,7 @@ from repro.energy.throughput import ThroughputModel
 from repro.errors import ConfigurationError
 from repro.iolib.base import IOLibrary
 from repro.iolib.pfs import PFSModel
+from repro.runtime import registry
 
 __all__ = ["CampaignResult", "CheckpointCampaignResult", "MultiNodeCampaign"]
 
@@ -97,6 +98,13 @@ class CheckpointCampaignResult:
     @property
     def overhead_fraction(self) -> float:
         return 1.0 - self.work_s / self.expected_makespan_s
+
+
+# Campaign results are not a sweep kind's primary record, but registering
+# them lets them encode/decode through the ResultStore like every other
+# record (a cached Fig. 12 point round-trips from disk).
+registry.register_record(CampaignResult)
+registry.register_record(CheckpointCampaignResult)
 
 
 class MultiNodeCampaign:

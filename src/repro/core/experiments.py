@@ -960,6 +960,22 @@ class Testbed:
         )
 
     # -- figure/table drivers ---------------------------------------------------
+    #
+    # `run_sweep` is the one generic entrypoint: any registered experiment
+    # kind (builtin or plugin) runs through it.  The named drivers below are
+    # thin wrappers that keep the seed signatures figures and benchmarks use.
+
+    def run_sweep(self, kind: str, **axes) -> list:
+        """Run any registered experiment kind's grid through the engine.
+
+        ``kind`` is looked up in :mod:`repro.runtime.registry`; the
+        remaining keyword arguments are :class:`~repro.runtime.spec.
+        SweepSpec` axis overrides.  An unknown kind raises
+        :class:`~repro.errors.ConfigurationError` naming the known kinds.
+        """
+        from repro.runtime.spec import SweepSpec
+
+        return self.engine.run(SweepSpec(kind=kind, **axes))
 
     def run_serial_sweep(
         self,
@@ -970,17 +986,13 @@ class Testbed:
         threads: int = 1,
     ) -> list[SerialPoint]:
         """Figs. 5 and 7 (and the data behind Figs. 8/9 and Table III)."""
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="serial",
-                datasets=datasets,
-                codecs=codecs,
-                bounds=bounds,
-                cpus=cpus,
-                threads=(threads,),
-            )
+        return self.run_sweep(
+            "serial",
+            datasets=datasets,
+            codecs=codecs,
+            bounds=bounds,
+            cpus=cpus,
+            threads=(threads,),
         )
 
     def run_thread_sweep(
@@ -998,18 +1010,14 @@ class Testbed:
         toolchain could not run (OpenMP SZ2 on 1-D/4-D, QoZ on 1-D) so the
         output matrix matches the figure's missing bars exactly.
         """
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="thread",
-                datasets=datasets,
-                codecs=codecs,
-                threads=threads,
-                rel_bound=rel_bound,
-                cpus=cpus,
-                paper_fidelity=paper_fidelity,
-            )
+        return self.run_sweep(
+            "thread",
+            datasets=datasets,
+            codecs=codecs,
+            threads=threads,
+            rel_bound=rel_bound,
+            cpus=cpus,
+            paper_fidelity=paper_fidelity,
         )
 
     def run_quality_table(
@@ -1019,11 +1027,7 @@ class Testbed:
         bounds=(1e-1, 1e-3, 1e-5),
     ) -> list[RoundtripRecord]:
         """Table III: CR and PSNR grid."""
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(kind="quality", datasets=datasets, codecs=codecs, bounds=bounds)
-        )
+        return self.run_sweep("quality", datasets=datasets, codecs=codecs, bounds=bounds)
 
     def run_io_sweep(
         self,
@@ -1034,17 +1038,13 @@ class Testbed:
         cpu_name: str = "max9480",
     ) -> list[IOPoint]:
         """Fig. 11: post-compression write energy plus the original baseline."""
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="io",
-                datasets=datasets,
-                codecs=codecs,
-                bounds=bounds,
-                io_libraries=io_libraries,
-                cpus=(cpu_name,),
-            )
+        return self.run_sweep(
+            "io",
+            datasets=datasets,
+            codecs=codecs,
+            bounds=bounds,
+            io_libraries=io_libraries,
+            cpus=(cpu_name,),
         )
 
     def run_pipeline_sweep(
@@ -1058,19 +1058,15 @@ class Testbed:
         overlap: bool = True,
     ) -> list[PipelinePoint]:
         """The Fig. 11 grid through the block-pipelined write model."""
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="pipeline",
-                datasets=datasets,
-                codecs=codecs,
-                bounds=bounds,
-                io_libraries=io_libraries,
-                cpus=(cpu_name,),
-                n_chunks=n_chunks,
-                overlap=overlap,
-            )
+        return self.run_sweep(
+            "pipeline",
+            datasets=datasets,
+            codecs=codecs,
+            bounds=bounds,
+            io_libraries=io_libraries,
+            cpus=(cpu_name,),
+            n_chunks=n_chunks,
+            overlap=overlap,
         )
 
     def run_dvfs_sweep(
@@ -1089,19 +1085,15 @@ class Testbed:
         :meth:`~repro.energy.cpus.CPUSpec.freq_ladder`.  Points are memoized
         in the result store like every other kind.
         """
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="dvfs",
-                datasets=datasets,
-                codecs=codecs,
-                bounds=bounds,
-                freqs=freqs,
-                io_libraries=io_libraries,
-                cpus=(cpu_name,),
-                include_baseline=include_baseline,
-            )
+        return self.run_sweep(
+            "dvfs",
+            datasets=datasets,
+            codecs=codecs,
+            bounds=bounds,
+            freqs=freqs,
+            io_libraries=io_libraries,
+            cpus=(cpu_name,),
+            include_baseline=include_baseline,
         )
 
     def run_checkpoint_sweep(
@@ -1126,26 +1118,22 @@ class Testbed:
         Every point is a full failure-aware lifetime (plus its closed-form
         expectations), memoized in the result store like every other kind.
         """
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="checkpoint",
-                datasets=datasets,
-                codecs=codecs,
-                bounds=bounds,
-                mttfs=mttfs,
-                io_libraries=io_libraries,
-                cpus=(cpu_name,),
-                work_s=work_s,
-                interval=interval,
-                n_nodes=n_nodes,
-                seed=seed,
-                downtime_s=downtime_s,
-                n_chunks=n_chunks,
-                overlap=overlap,
-                include_baseline=include_baseline,
-            )
+        return self.run_sweep(
+            "checkpoint",
+            datasets=datasets,
+            codecs=codecs,
+            bounds=bounds,
+            mttfs=mttfs,
+            io_libraries=io_libraries,
+            cpus=(cpu_name,),
+            work_s=work_s,
+            interval=interval,
+            n_nodes=n_nodes,
+            seed=seed,
+            downtime_s=downtime_s,
+            n_chunks=n_chunks,
+            overlap=overlap,
+            include_baseline=include_baseline,
         )
 
     def run_lossless_comparison(
@@ -1156,16 +1144,12 @@ class Testbed:
         rel_bound: float = 1e-2,
     ) -> list[RoundtripRecord]:
         """Fig. 1: lossless vs EBLC ratios."""
-        from repro.runtime.spec import SweepSpec
-
-        return self.engine.run(
-            SweepSpec(
-                kind="lossless",
-                datasets=datasets,
-                codecs=eblc,
-                lossless_codecs=lossless,
-                rel_bound=rel_bound,
-            )
+        return self.run_sweep(
+            "lossless",
+            datasets=datasets,
+            codecs=eblc,
+            lossless_codecs=lossless,
+            rel_bound=rel_bound,
         )
 
     def run_multinode(

@@ -3,6 +3,11 @@
 The runtime layer separates *what* an experiment grid is from *how* it is
 evaluated:
 
+- :mod:`~repro.runtime.registry` — the experiment-kind plugin registry:
+  one :class:`~repro.runtime.registry.ExperimentKind` declaration per kind
+  covers spec fields + validation, grid expansion, evaluate entrypoints,
+  the record class + JSON schema, CLI flags/tables, and the conformance
+  battery contract (see ``docs/user-guide/experiments.md``);
 - :class:`~repro.runtime.spec.SweepSpec` — a declarative, JSON-round-trip
   grid over (datasets, codecs, error bounds, CPUs, I/O libraries);
 - :class:`~repro.runtime.store.ResultStore` — content-addressed
@@ -28,6 +33,16 @@ from repro.runtime.benchmark import (
     validate_doc,
 )
 from repro.runtime.engine import EXECUTORS, EngineStats, SweepEngine, SweepEvent
+from repro.runtime.registry import (
+    ExperimentKind,
+    all_kinds,
+    get_kind,
+    kind_names,
+    record_schema,
+    register,
+    register_record,
+    unregister,
+)
 from repro.runtime.spec import SWEEP_KINDS, GridPoint, SweepSpec
 from repro.runtime.store import (
     CACHE_VERSION,
@@ -45,6 +60,7 @@ __all__ = [
     "KERNELS",
     "SWEEP_KINDS",
     "EngineStats",
+    "ExperimentKind",
     "GridPoint",
     "KernelInputs",
     "KernelSpec",
@@ -52,14 +68,20 @@ __all__ = [
     "SweepEngine",
     "SweepEvent",
     "SweepSpec",
+    "all_kinds",
     "compare_docs",
     "decode_record",
     "default_store",
     "encode_record",
+    "get_kind",
     "kernel_inputs",
+    "kind_names",
     "point_key",
+    "record_schema",
+    "register",
+    "register_record",
     "run_and_report",
     "run_kernels",
     "testbed_fingerprint",
-    "validate_doc",
+    "unregister",
 ]

@@ -23,6 +23,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolE
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.runtime import registry
 from repro.runtime.spec import GridPoint, SweepSpec
 from repro.runtime.store import ResultStore, default_store, point_key, testbed_fingerprint
 
@@ -78,7 +79,7 @@ def _evaluate_in_worker(config: dict, config_id: str, op: str, kwargs: dict):
     if testbed is None:
         testbed = _build_testbed(config)
         _WORKER_TESTBEDS[config_id] = testbed
-    return getattr(testbed, op)(**kwargs)
+    return registry.evaluate_op(testbed, op, kwargs)
 
 
 class SweepEngine:
@@ -138,7 +139,9 @@ class SweepEngine:
         return point_key(point.op, point.as_kwargs(), testbed_fingerprint(self.testbed))
 
     def _compute_local(self, point: GridPoint):
-        return getattr(self.testbed, point.op)(**point.as_kwargs())
+        # Registry dispatch: a kind-registered evaluate entrypoint when one
+        # exists for the op, otherwise the Testbed method of the same name.
+        return registry.evaluate_op(self.testbed, point.op, point.as_kwargs())
 
     def _testbed_config(self) -> dict:
         """Picklable kwargs that rebuild an equivalent testbed in a worker."""

@@ -7,6 +7,14 @@ items in a deterministic order that matches the seed ``Testbed`` drivers
 point for point, so the engine can fan the grid out over a pool, memoize
 each point, and still return records in the order every figure expects.
 
+The legal kinds, their validation, and their expansions all live in
+:mod:`repro.runtime.registry` — one :class:`~repro.runtime.registry.
+ExperimentKind` declaration per kind.  ``SweepSpec`` itself only owns the
+axis fields and their normalisation; constructing a spec with an unknown
+kind raises :class:`~repro.errors.ConfigurationError` naming every
+registered kind, and a registered third-party kind sweeps through this
+class unchanged.
+
 Specs round-trip through JSON (``to_json``/``from_json``) so the same grid
 can be committed next to a benchmark, shipped to a worker, or fed to
 ``repro sweep --spec grid.json``.
@@ -18,10 +26,13 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.errors import ConfigurationError
+from repro.runtime import registry
 
 __all__ = ["GridPoint", "SweepSpec", "SWEEP_KINDS"]
 
-#: The supported grid shapes; each maps onto one ``Testbed`` driver.
+#: The builtin grid shapes (a frozen snapshot; plugins registered through
+#: :func:`repro.runtime.registry.register` extend the live set, which is
+#: always :func:`repro.runtime.registry.kind_names`).
 SWEEP_KINDS = (
     "serial",
     "thread",
@@ -37,12 +48,13 @@ SWEEP_KINDS = (
 
 @dataclass(frozen=True)
 class GridPoint:
-    """One unit of sweep work: a testbed operation plus its arguments.
+    """One unit of sweep work: an evaluate operation plus its arguments.
 
     ``op`` names a :class:`~repro.core.experiments.Testbed` method
-    (``roundtrip``, ``serial_point``, ``io_point``, ``read_point``); the
-    kwargs are stored as a sorted tuple of pairs so equal points compare
-    and hash equal regardless of keyword order.
+    (``roundtrip``, ``serial_point``, ``io_point``, ``read_point``) or a
+    plugin entrypoint registered by an experiment kind; the kwargs are
+    stored as a sorted tuple of pairs so equal points compare and hash
+    equal regardless of keyword order.
     """
 
     op: str
@@ -71,7 +83,9 @@ class SweepSpec:
     The defaults reproduce the full Figs. 5/7 serial grid; narrower specs
     are built by overriding axes.  Fields that a kind does not use are
     simply ignored by its expansion (e.g. ``io_libraries`` for a serial
-    sweep), so one spec type covers every driver.
+    sweep), so one spec type covers every registered kind — each kind's
+    :attr:`~repro.runtime.registry.ExperimentKind.spec_fields` names the
+    axes it actually consumes.
     """
 
     kind: str = "serial"
@@ -111,10 +125,7 @@ class SweepSpec:
     downtime_s: float = 60.0
 
     def __post_init__(self):
-        if self.kind not in SWEEP_KINDS:
-            raise ConfigurationError(
-                f"unknown sweep kind {self.kind!r}; expected one of {SWEEP_KINDS}"
-            )
+        experiment = registry.get_kind(self.kind)  # unknown kind raises here
         # JSON and CLI hand us lists; normalise every axis to a tuple so
         # specs stay hashable and compare by value.
         object.__setattr__(self, "datasets", _tuple(self.datasets, str))
@@ -139,179 +150,21 @@ class SweepSpec:
             raise ConfigurationError("threads axis must not be empty")
         if self.n_chunks < 1:
             raise ConfigurationError("n_chunks must be >= 1")
-        if self.kind == "checkpoint":
-            # Validate the whole scenario eagerly: a bad spec must fail at
-            # construction (spec-file parse time), not per grid point inside
-            # a worker pool.
-            if not self.mttfs:
-                raise ConfigurationError("mttfs axis must not be empty")
-            if any(m <= 0 for m in self.mttfs):
-                raise ConfigurationError("every mttf must be positive")
-            if isinstance(self.interval, str):
-                if self.interval not in ("daly", "young"):
-                    raise ConfigurationError(
-                        f"unknown interval policy {self.interval!r}; expected "
-                        "'daly', 'young', or a number of seconds"
-                    )
-            elif not self.interval > 0:
-                raise ConfigurationError("explicit interval must be positive")
-            if not self.work_s > 0:
-                raise ConfigurationError("work_s must be positive")
-            if self.downtime_s < 0:
-                raise ConfigurationError("downtime_s must be >= 0")
-            if self.n_nodes < 1:
-                raise ConfigurationError("n_nodes must be >= 1")
+        if experiment.validate is not None:
+            # Kind-specific checks (e.g. the checkpoint scenario) run after
+            # normalisation so they see the canonical field types.
+            experiment.validate(self)
 
     # -- expansion -----------------------------------------------------------
 
     def points(self) -> list[GridPoint]:
-        """Expand to grid points, ordered exactly like the seed drivers."""
-        return getattr(self, f"_points_{self.kind}")()
+        """Expand to grid points via the kind's registered expansion.
 
-    def _points_serial(self) -> list[GridPoint]:
-        return [
-            GridPoint.make(
-                "serial_point",
-                dataset=ds,
-                codec=codec,
-                rel_bound=eps,
-                cpu_name=cpu,
-                threads=self.threads[0],
-            )
-            for cpu in self.cpus
-            for ds in self.datasets
-            for codec in self.codecs
-            for eps in self.bounds
-        ]
-
-    def _points_thread(self) -> list[GridPoint]:
-        from repro.compressors.capabilities import supported
-        from repro.data.registry import get_dataset
-
-        out = []
-        for cpu in self.cpus:
-            for ds in self.datasets:
-                ndim = len(get_dataset(ds).paper_shape)
-                for codec in self.codecs:
-                    if self.paper_fidelity and not supported(codec, ndim, "openmp"):
-                        continue
-                    for th in self.threads:
-                        out.append(
-                            GridPoint.make(
-                                "serial_point",
-                                dataset=ds,
-                                codec=codec,
-                                rel_bound=self.rel_bound,
-                                cpu_name=cpu,
-                                threads=th,
-                            )
-                        )
-        return out
-
-    def _points_quality(self) -> list[GridPoint]:
-        return [
-            GridPoint.make("roundtrip", dataset=ds, codec=codec, rel_bound=eps)
-            for ds in self.datasets
-            for eps in self.bounds
-            for codec in self.codecs
-        ]
-
-    def _points_lossless(self) -> list[GridPoint]:
-        out = []
-        for ds in self.datasets:
-            for codec in self.lossless_codecs:
-                out.append(
-                    GridPoint.make("roundtrip", dataset=ds, codec=codec, rel_bound=0.0)
-                )
-            for codec in self.codecs:
-                out.append(
-                    GridPoint.make(
-                        "roundtrip", dataset=ds, codec=codec, rel_bound=self.rel_bound
-                    )
-                )
-        return out
-
-    def _points_io(self, op: str = "io_point") -> list[GridPoint]:
-        out = []
-        for cpu in self.cpus:
-            for lib in self.io_libraries:
-                for ds in self.datasets:
-                    if self.include_baseline:
-                        out.append(
-                            GridPoint.make(
-                                op,
-                                dataset=ds,
-                                codec=None,
-                                rel_bound=None,
-                                io_library=lib,
-                                cpu_name=cpu,
-                            )
-                        )
-                    for codec in self.codecs:
-                        for eps in self.bounds:
-                            out.append(
-                                GridPoint.make(
-                                    op,
-                                    dataset=ds,
-                                    codec=codec,
-                                    rel_bound=eps,
-                                    io_library=lib,
-                                    cpu_name=cpu,
-                                )
-                            )
-        return out
-
-    def _points_read(self) -> list[GridPoint]:
-        return self._points_io(op="read_point")
-
-    def _points_pipeline(self) -> list[GridPoint]:
-        # Same grid as `io`, evaluated through the block-pipelined model.
-        return [
-            GridPoint.make(
-                "pipeline_point",
-                n_chunks=self.n_chunks,
-                overlap=self.overlap,
-                **p.as_kwargs(),
-            )
-            for p in self._points_io(op="pipeline_point")
-        ]
-
-    def _points_checkpoint(self) -> list[GridPoint]:
-        # The `io` grid replicated along the per-node MTTF axis (innermost).
-        # The pipeline (n_chunks/overlap) and scenario fields ride along on
-        # every point; the default n_chunks=1 prices checkpoints through the
-        # sequential write path, n_chunks>1 through the pipelined one.
-        out = []
-        for p in self._points_io(op="checkpoint_point"):
-            for mttf in self.mttfs:
-                out.append(
-                    GridPoint.make(
-                        "checkpoint_point",
-                        mttf_s=float(mttf),
-                        work_s=self.work_s,
-                        interval=self.interval,
-                        n_nodes=self.n_nodes,
-                        seed=self.seed,
-                        downtime_s=self.downtime_s,
-                        n_chunks=self.n_chunks,
-                        overlap=self.overlap,
-                        **p.as_kwargs(),
-                    )
-                )
-        return out
-
-    def _points_dvfs(self) -> list[GridPoint]:
-        # Same grid as `io`, replicated along the frequency axis (innermost);
-        # an empty freqs axis means each CPU's canonical DVFS ladder.
-        from repro.energy.cpus import get_cpu
-
-        out = []
-        for p in self._points_io(op="dvfs_point"):
-            kwargs = p.as_kwargs()
-            freqs = self.freqs or get_cpu(kwargs["cpu_name"]).freq_ladder()
-            for f in freqs:
-                out.append(GridPoint.make("dvfs_point", freq_ghz=float(f), **kwargs))
-        return out
+        The order is deterministic and matches the seed drivers point for
+        point — grid-point identity is what the content-addressed store
+        hashes, so expansions never reorder between releases.
+        """
+        return registry.get_kind(self.kind).expand(self)
 
     # -- serialisation -------------------------------------------------------
 

@@ -124,28 +124,13 @@ def point_key(op: str, params: dict, fingerprint: dict) -> str:
 
 
 def _record_types() -> dict:
-    # Imported lazily: core.experiments must stay importable without the
-    # runtime package (and vice versa at module-import time).
-    from repro.core.experiments import (
-        CheckpointPoint,
-        DvfsPoint,
-        IOPoint,
-        PipelinePoint,
-        RoundtripRecord,
-        SerialPoint,
-    )
+    # Registry-driven: every registered experiment kind's record class (plus
+    # nested record dataclasses and registry.register_record extras) encodes
+    # and decodes here — a plugin's records round-trip without touching this
+    # module.  Imported lazily so the store stays importable on its own.
+    from repro.runtime import registry
 
-    return {
-        cls.__name__: cls
-        for cls in (
-            RoundtripRecord,
-            SerialPoint,
-            IOPoint,
-            PipelinePoint,
-            DvfsPoint,
-            CheckpointPoint,
-        )
-    }
+    return registry.record_types()
 
 
 def encode_record(record) -> dict:

@@ -1,0 +1,257 @@
+"""The registry-driven conformance battery.
+
+Every experiment kind registered in :mod:`repro.runtime.registry` with a
+``conformance`` grid is run through the same battery:
+
+- record values and sha256 store keys bit-identical to the seed tree
+  (``tests/fixtures/conformance_golden.json``, regenerated only on
+  intentional behaviour changes via ``tools/gen_conformance_golden.py``),
+- ResultStore disk round-trip, including non-finite parameters and values,
+- parallel (thread-pool) results equal to serial results,
+- same-seed byte-identical determinism across fresh stores,
+- ``repro sweep --kind <k> --json`` CLI smoke with registry-derived flags,
+- registry JSON-schema + invariant validation of the wire-format records.
+
+A future plugin inherits all of this for free: register an
+:class:`~repro.runtime.registry.ExperimentKind` with a ``conformance``
+grid and the battery picks it up from ``registry.all_kinds()`` (the golden
+comparison is skipped for kinds absent from the fixture; everything else
+runs).  ``tests/test_registry.py`` drives a toy third-party kind through
+the same helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.core.experiments import Testbed
+from repro.runtime import registry
+from repro.runtime.engine import SweepEngine
+from repro.runtime.spec import SWEEP_KINDS, SweepSpec
+from repro.runtime.store import ResultStore, _jsonsafe, encode_record
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "conformance_golden.json"
+GOLDEN = json.loads(FIXTURE.read_text())
+
+
+# -- battery helpers (shared with tests/test_registry.py) ---------------------
+
+
+def conformance_kinds() -> list:
+    """Every registered kind that opted into the battery."""
+    return [k for k in registry.all_kinds() if k.conformance is not None]
+
+
+def run_kind(testbed, kind, store=None, executor="serial"):
+    """Run a kind's conformance grid; returns (spec, keys, records)."""
+    spec = SweepSpec(kind=kind.name, **kind.conformance)
+    engine = SweepEngine(
+        testbed=testbed, store=store if store is not None else ResultStore(),
+        executor=executor,
+    )
+    records = engine.run(spec)
+    keys = [engine._key(p) for p in spec.points()]
+    return spec, keys, records
+
+
+def cli_args(kind) -> list[str]:
+    """``repro sweep`` argv reproducing the kind's conformance grid.
+
+    Flags are derived from the registry's axis table, so a plugin kind's
+    conformance grid is expressible on the CLI by construction.
+    """
+    argv = ["sweep", "--kind", kind.name, "--scale", "tiny", "--json"]
+    for axis in registry.SWEEP_AXES:
+        if axis.flag is None or axis.field not in kind.conformance:
+            continue
+        value = kind.conformance[axis.field]
+        if axis.parse == "invert":
+            if not value:
+                argv.append(axis.flag)
+        elif axis.parse == "flag":
+            if value:
+                argv.append(axis.flag)
+        elif axis.parse in ("csv_str", "csv_int"):
+            argv.extend([axis.flag, ",".join(str(v) for v in value)])
+        elif axis.parse == "csv_float":
+            argv.extend([axis.flag, ",".join(format(v, "g") for v in value)])
+        else:
+            argv.extend([axis.flag, str(value)])
+    return argv
+
+
+def assert_kind_conformance(testbed, kind, tmp_path, capsys) -> None:
+    """The full battery for one kind (used by the toy-plugin e2e test)."""
+    spec, keys, serial_records = run_kind(testbed, kind)
+    assert serial_records, f"{kind.name}: conformance grid expanded to nothing"
+    # parallel == serial
+    _, _, thread_records = run_kind(testbed, kind, executor="thread")
+    assert thread_records == serial_records
+    # disk round-trip
+    store = ResultStore(cache_dir=tmp_path / f"cache-{kind.name}")
+    for key, rec in zip(keys, serial_records):
+        store.put(key, rec)
+    fresh = ResultStore(cache_dir=tmp_path / f"cache-{kind.name}")
+    for key, rec in zip(keys, serial_records):
+        assert fresh.get(key) == rec
+    # schema + invariants over the wire format
+    assert kind.check_records(registry.to_wire(serial_records)) == []
+    # CLI smoke
+    from repro.cli import main
+
+    assert main(cli_args(kind)) == 0
+    emitted = json.loads(capsys.readouterr().out)
+    assert len(emitted) == len(spec.points())
+    assert kind.check_records(emitted) == []
+
+
+_KINDS = conformance_kinds()
+_IDS = [k.name for k in _KINDS]
+
+#: One shared serial run per kind: the golden, schema, determinism, and
+#: round-trip subtests all reuse it instead of re-sweeping.
+_RUNS: dict[str, tuple] = {}
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(scale="tiny")
+
+
+def shared_run(testbed, kind):
+    if kind.name not in _RUNS:
+        _RUNS[kind.name] = run_kind(testbed, kind)
+    return _RUNS[kind.name]
+
+
+# -- the battery --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", _KINDS, ids=_IDS)
+class TestConformance:
+    def test_golden_identity(self, testbed, kind):
+        """Record values and store keys are bit-identical to the seed tree."""
+        golden = GOLDEN["kinds"].get(kind.name)
+        if golden is None:
+            pytest.skip(f"plugin kind {kind.name!r} has no golden fixture entry")
+        spec, keys, records = shared_run(testbed, kind)
+        assert _jsonsafe(spec.to_dict()) == golden["spec"]
+        assert keys == golden["keys"]
+        assert [_jsonsafe(encode_record(r)) for r in records] == golden["records"]
+
+    def test_store_roundtrip(self, testbed, kind, tmp_path):
+        """Every record survives the disk store, including ±inf fields."""
+        _, keys, records = shared_run(testbed, kind)
+        store = ResultStore(cache_dir=tmp_path)
+        for key, rec in zip(keys, records):
+            store.put(key, rec)
+        fresh = ResultStore(cache_dir=tmp_path)
+        for key, rec in zip(keys, records):
+            assert fresh.get(key) == rec
+
+    def test_parallel_equals_serial(self, testbed, kind):
+        """Thread-pool execution returns the exact serial records, in order."""
+        _, _, serial_records = shared_run(testbed, kind)
+        _, _, thread_records = run_kind(testbed, kind, executor="thread")
+        assert thread_records == serial_records
+
+    def test_same_seed_determinism(self, testbed, kind):
+        """Two fresh-store runs are byte-identical once encoded."""
+        _, _, a = run_kind(testbed, kind)
+        _, _, b = run_kind(testbed, kind)
+        blob_a = json.dumps([_jsonsafe(encode_record(r)) for r in a], sort_keys=True)
+        blob_b = json.dumps([_jsonsafe(encode_record(r)) for r in b], sort_keys=True)
+        assert blob_a == blob_b
+
+    def test_schema_and_invariants(self, testbed, kind):
+        """Wire-format records pass the kind's schema and invariants."""
+        _, _, records = shared_run(testbed, kind)
+        assert kind.check_records(registry.to_wire(records)) == []
+
+    def test_cli_smoke(self, testbed, kind, capsys):
+        """`repro sweep --kind <k> --json` emits exactly the grid, validated."""
+        from repro.cli import main
+
+        spec, _, _ = shared_run(testbed, kind)
+        assert main(cli_args(kind)) == 0
+        emitted = json.loads(capsys.readouterr().out)
+        assert len(emitted) == len(spec.points())
+        assert kind.check_records(emitted) == []
+
+    def test_schema_matches_record_fields(self, testbed, kind):
+        """The derived JSON schema covers the record dataclass exactly."""
+        schema = kind.json_schema()
+        names = {f.name for f in dataclasses.fields(kind.load_record())}
+        assert set(schema["properties"]) == names | {"__record__"}
+        assert set(schema["required"]) == names | {"__record__"}
+        assert schema["properties"]["__record__"] == {"const": kind.record}
+
+    def test_spec_fields_are_real(self, testbed, kind):
+        """Every declared spec field exists on SweepSpec."""
+        spec_fields = {f.name for f in dataclasses.fields(SweepSpec)}
+        assert set(kind.spec_fields) <= spec_fields
+
+    def test_record_registered_with_store(self, testbed, kind):
+        """The kind's record class is reachable through the store's type map."""
+        assert registry.record_types()[kind.record] is kind.load_record()
+
+
+# -- registry/spec coherence --------------------------------------------------
+
+
+class TestRegistryCoverage:
+    def test_builtin_kinds_all_registered(self):
+        """The SWEEP_KINDS snapshot and the golden fixture match the registry."""
+        assert set(SWEEP_KINDS) <= set(registry.kind_names())
+        assert set(GOLDEN["kinds"]) == set(SWEEP_KINDS)
+
+    def test_axis_table_covers_spec(self):
+        """Registry axes and SweepSpec fields are the same set (minus kind)."""
+        spec_fields = {f.name for f in dataclasses.fields(SweepSpec)} - {"kind"}
+        assert registry.KNOWN_SPEC_FIELDS == spec_fields
+
+    def test_cli_axes_have_unique_flags(self):
+        flags = [a.flag for a in registry.cli_axes()]
+        assert len(flags) == len(set(flags))
+
+    def test_golden_fixture_is_fresh(self, testbed):
+        """The committed fixture matches what the regenerator would write."""
+        doc = {"version": 1, "scale": "tiny", "kinds": {}}
+        for kind in _KINDS:
+            if kind.name not in GOLDEN["kinds"]:
+                continue
+            spec, keys, records = shared_run(testbed, kind)
+            doc["kinds"][kind.name] = {
+                "spec": _jsonsafe(spec.to_dict()),
+                "keys": keys,
+                "records": [_jsonsafe(encode_record(r)) for r in records],
+            }
+        assert doc == GOLDEN
+
+
+class TestNonFiniteRoundTrip:
+    def test_negative_infinity_value_survives_disk(self, testbed, tmp_path):
+        """A -inf record field round-trips through the disk store."""
+        kind = registry.get_kind("dvfs")
+        _, _, records = shared_run(testbed, kind)
+        weird = dataclasses.replace(records[-1], psnr_db=float("-inf"))
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("weird-key", weird)
+        fresh = ResultStore(cache_dir=tmp_path)
+        got = fresh.get("weird-key")
+        assert got == weird
+        assert got.psnr_db == float("-inf")
+
+    def test_infinite_mttf_parameter_keys_stably(self, testbed):
+        """float('inf') as a grid parameter hashes identically across runs."""
+        from repro.runtime.store import point_key, testbed_fingerprint
+
+        fp = testbed_fingerprint(testbed)
+        params = {"mttf_s": float("inf"), "dataset": "cesm"}
+        assert point_key("checkpoint_point", params, fp) == point_key(
+            "checkpoint_point", dict(params), fp
+        )

@@ -1,179 +1,37 @@
 #!/usr/bin/env python3
-"""Schema + invariant gate for checkpoint-sweep records (CI bench-smoke job).
+"""Thin shim: checkpoint records now validate through the unified checker.
 
-Validates the JSON array emitted by ``repro sweep --kind checkpoint --json``:
-every record must be a tagged ``CheckpointPoint`` with the expected fields
-and must satisfy the lifetime model's invariants — the makespan can never
-undercut the useful work, a failure-free (``mttf=inf``) lifetime is exactly
-work plus its checkpoints with zero failures, the uncompressed baseline
-carries no codec cost, and the Daly interval shrinks (never grows) as the
-MTTF drops.  Exits non-zero (listing the violations) on any failure, so
-schema or model drift fails the build instead of shipping silently.
+The schema and the physical invariants (failure-free lifetimes reduce to
+``work + n_ckpts * ckpt_time``, Daly/Young intervals never grow as the MTTF
+drops, makespans never undercut the useful work) live on the ``checkpoint``
+:class:`~repro.runtime.registry.ExperimentKind`; this wrapper keeps the old
+CI entrypoint and its ``check(path)`` API working.  Prefer::
+
+    python tools/check_record_schemas.py checkpoint CHECKPOINT_sweep.json
 """
 
 from __future__ import annotations
 
-import json
-import math
+import pathlib
 import sys
-from pathlib import Path
 
-#: ``repro sweep --json`` emits non-finite floats as repr strings ("inf"),
-#: keeping the document RFC 8259; these fields may legitimately carry one.
-NONFINITE_OK = {"mttf_s", "interval_s", "psnr_db"}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-REQUIRED = {
-    "__record__": str,
-    "dataset": str,
-    "io_library": str,
-    "cpu": str,
-    "mttf_s": (int, float, str),
-    "n_nodes": int,
-    "work_s": (int, float),
-    "interval": (int, float, str),
-    "interval_s": (int, float, str),
-    "seed": int,
-    "n_chunks": int,
-    "overlap": bool,
-    "downtime_s": (int, float),
-    "ckpt_compress_time_s": (int, float),
-    "ckpt_write_time_s": (int, float),
-    "ckpt_time_s": (int, float),
-    "ckpt_compress_energy_j": (int, float),
-    "ckpt_write_energy_j": (int, float),
-    "restart_fetch_time_s": (int, float),
-    "restart_decompress_time_s": (int, float),
-    "restart_fetch_energy_j": (int, float),
-    "restart_decompress_energy_j": (int, float),
-    "makespan_s": (int, float),
-    "n_checkpoints": int,
-    "n_failures": int,
-    "rework_s": (int, float),
-    "compute_energy_j": (int, float),
-    "checkpoint_energy_j": (int, float),
-    "restart_energy_j": (int, float),
-    "idle_energy_j": (int, float),
-    "expected_makespan_s": (int, float),
-    "expected_energy_j": (int, float),
-    "ratio": (int, float),
-    "psnr_db": (int, float, str),
-}
-# codec / rel_bound are also required but may be null (uncompressed baseline).
-NULLABLE = {"codec": str, "rel_bound": (int, float), "freq_ghz": (int, float)}
+import check_record_schemas as _unified  # noqa: E402
+
+KIND = "checkpoint"
 
 
-def _num(value) -> float:
-    """A record number that may be a non-finite repr string."""
-    return float(value) if isinstance(value, str) else value
-
-
-def check(path: Path) -> list[str]:
+def check(path) -> list[str]:
     """All schema/invariant violations in ``path`` (empty list = valid)."""
-    errors: list[str] = []
-    try:
-        records = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"cannot read {path}: {exc}"]
-    if not isinstance(records, list) or not records:
-        return [f"{path}: expected a non-empty JSON array of records"]
-    # Per configuration: the resolved interval must not grow as MTTF drops.
-    by_config: dict[tuple, list[tuple[float, float]]] = {}
-    for i, rec in enumerate(records):
-        where = f"record[{i}]"
-        if not isinstance(rec, dict):
-            errors.append(f"{where}: not an object")
-            continue
-        if rec.get("__record__") != "CheckpointPoint":
-            errors.append(f"{where}: __record__ != 'CheckpointPoint'")
-            continue
-        for field, kind in REQUIRED.items():
-            if field not in rec:
-                errors.append(f"{where}: missing field {field!r}")
-            elif not isinstance(rec[field], kind) or (
-                isinstance(rec[field], bool) and kind is not bool
-            ):
-                errors.append(
-                    f"{where}.{field}: wrong type {type(rec[field]).__name__}"
-                )
-            elif isinstance(rec[field], str) and field in NONFINITE_OK:
-                try:
-                    float(rec[field])
-                except ValueError:
-                    errors.append(f"{where}.{field}: non-numeric string")
-        for field, kind in NULLABLE.items():
-            if field not in rec:
-                errors.append(f"{where}: missing field {field!r}")
-            elif rec[field] is not None and not isinstance(rec[field], kind):
-                errors.append(f"{where}.{field}: wrong type {type(rec[field]).__name__}")
-        if errors and errors[-1].startswith(where):
-            continue  # field errors already make invariants meaningless
-        mttf = _num(rec["mttf_s"])
-        interval_s = _num(rec["interval_s"])
-        if rec["n_checkpoints"] < 1:
-            errors.append(f"{where}: at least one checkpoint must commit")
-        if rec["makespan_s"] < rec["work_s"]:
-            errors.append(f"{where}: makespan undercuts the useful work")
-        if rec["expected_makespan_s"] < rec["work_s"]:
-            errors.append(f"{where}: expected makespan undercuts the work")
-        if rec["rework_s"] < -1e-9 or rec["n_failures"] < 0:
-            errors.append(f"{where}: negative rework or failure count")
-        for field in (
-            "compute_energy_j",
-            "checkpoint_energy_j",
-            "restart_energy_j",
-            "idle_energy_j",
-            "expected_energy_j",
-        ):
-            if rec[field] < 0:
-                errors.append(f"{where}.{field}: negative energy")
-        if (rec["codec"] is None) != (rec["rel_bound"] is None):
-            errors.append(f"{where}: codec/rel_bound nullability mismatch")
-        if rec["codec"] is None:
-            if rec["ckpt_compress_time_s"] != 0 or rec["ckpt_compress_energy_j"] != 0:
-                errors.append(f"{where}: uncompressed baseline carries codec cost")
-            if rec["ratio"] != 1.0:
-                errors.append(f"{where}: uncompressed baseline ratio != 1.0")
-        if math.isinf(mttf):
-            if rec["n_failures"] != 0 or rec["rework_s"] != 0:
-                errors.append(f"{where}: failure-free lifetime shows failures")
-            ff = rec["work_s"] + rec["n_checkpoints"] * rec["ckpt_time_s"]
-            if abs(rec["makespan_s"] - ff) > 1e-6 * max(1.0, ff):
-                errors.append(
-                    f"{where}: failure-free makespan {rec['makespan_s']} != "
-                    f"work + checkpoints {ff}"
-                )
-        key = (
-            rec["dataset"],
-            rec["codec"],
-            rec["rel_bound"],
-            rec["io_library"],
-            rec["cpu"],
-            rec["interval"] if isinstance(rec["interval"], str) else None,
-        )
-        if isinstance(rec["interval"], str):  # daly/young adapt to the MTTF
-            by_config.setdefault(key, []).append((mttf, interval_s))
-    for key, points in by_config.items():
-        points.sort()
-        for (m_lo, tau_lo), (m_hi, tau_hi) in zip(points, points[1:]):
-            if tau_lo > tau_hi + 1e-9:
-                errors.append(
-                    f"config {key}: optimal interval grew as MTTF dropped "
-                    f"({tau_lo}s @ MTTF {m_lo}s vs {tau_hi}s @ MTTF {m_hi}s)"
-                )
-    return errors
+    return _unified.check(KIND, path)
 
 
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
-        print("usage: check_checkpoint_schema.py CHECKPOINT_sweep.json", file=sys.stderr)
+        print(f"usage: check_{KIND}_schema.py CHECKPOINT_sweep.json", file=sys.stderr)
         return 2
-    errors = check(Path(argv[1]))
-    if errors:
-        for err in errors:
-            print(f"FAIL: {err}", file=sys.stderr)
-        return 1
-    print(f"{argv[1]}: checkpoint sweep records OK")
-    return 0
+    return _unified.main([argv[0], KIND, argv[1]])
 
 
 if __name__ == "__main__":

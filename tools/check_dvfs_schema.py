@@ -1,121 +1,37 @@
 #!/usr/bin/env python3
-"""Schema + invariant gate for DVFS-sweep records (CI bench-smoke job).
+"""Thin shim: DVFS records now validate through the unified checker.
 
-Validates the JSON array emitted by ``repro sweep --kind dvfs --json``:
-every record must be a tagged ``DvfsPoint`` with the expected fields and
-must satisfy the DVFS model's physical invariants — compression time never
-*increases* with the core clock, the uncompressed baseline carries no codec
-cost, and every energy is positive (idle power alone guarantees that).
-Exits non-zero (listing the violations) on any failure, so schema or model
-drift fails the build instead of shipping silently.
+The schema and the physical invariants (compression time never increases
+with the core clock, the uncompressed baseline carries no codec cost, every
+energy is positive) live on the ``dvfs``
+:class:`~repro.runtime.registry.ExperimentKind`; this wrapper keeps the old
+CI entrypoint and its ``check(path)`` API working.  Prefer::
+
+    python tools/check_record_schemas.py dvfs DVFS_sweep.json
 """
 
 from __future__ import annotations
 
-import json
+import pathlib
 import sys
-from pathlib import Path
 
-REQUIRED = {
-    "__record__": str,
-    "dataset": str,
-    "io_library": str,
-    "cpu": str,
-    "freq_ghz": (int, float),
-    "bytes_written": int,
-    "compress_time_s": (int, float),
-    "write_time_s": (int, float),
-    "compress_energy_j": (int, float),
-    "write_energy_j": (int, float),
-    "ratio": (int, float),
-    # psnr_db is a number for codec points but the non-finite "inf" is
-    # emitted as a string by `repro sweep --json` (RFC 8259 has no Infinity).
-    "psnr_db": (int, float, str),
-}
-# codec / rel_bound are also required but may be null (uncompressed baseline).
-NULLABLE = {"codec": str, "rel_bound": (int, float)}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_record_schemas as _unified  # noqa: E402
+
+KIND = "dvfs"
 
 
-def check(path: Path) -> list[str]:
+def check(path) -> list[str]:
     """All schema/invariant violations in ``path`` (empty list = valid)."""
-    errors: list[str] = []
-    try:
-        records = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"cannot read {path}: {exc}"]
-    if not isinstance(records, list) or not records:
-        return [f"{path}: expected a non-empty JSON array of records"]
-    # Compression time must be non-increasing in frequency per configuration.
-    by_config: dict[tuple, list[tuple[float, float]]] = {}
-    for i, rec in enumerate(records):
-        where = f"record[{i}]"
-        if not isinstance(rec, dict):
-            errors.append(f"{where}: not an object")
-            continue
-        if rec.get("__record__") != "DvfsPoint":
-            errors.append(f"{where}: __record__ != 'DvfsPoint'")
-            continue
-        for field, kind in REQUIRED.items():
-            if field not in rec:
-                errors.append(f"{where}: missing field {field!r}")
-            elif not isinstance(rec[field], kind) or isinstance(rec[field], bool):
-                errors.append(f"{where}.{field}: wrong type {type(rec[field]).__name__}")
-        for field, kind in NULLABLE.items():
-            if field not in rec:
-                errors.append(f"{where}: missing field {field!r}")
-            elif rec[field] is not None and not isinstance(rec[field], kind):
-                errors.append(f"{where}.{field}: wrong type {type(rec[field]).__name__}")
-        if errors and errors[-1].startswith(where):
-            continue  # field errors already make invariants meaningless
-        if rec["freq_ghz"] <= 0:
-            errors.append(f"{where}: freq_ghz must be positive")
-        if rec["bytes_written"] < 1:
-            errors.append(f"{where}: bytes_written must be >= 1")
-        if min(rec["compress_time_s"], rec["write_time_s"]) < 0:
-            errors.append(f"{where}: negative stage time")
-        if rec["compress_energy_j"] < 0 or rec["write_energy_j"] <= 0:
-            errors.append(f"{where}: energy must be positive (idle power alone is)")
-        if rec["ratio"] <= 0:
-            errors.append(f"{where}: ratio must be positive")
-        if (rec["codec"] is None) != (rec["rel_bound"] is None):
-            errors.append(f"{where}: codec/rel_bound nullability mismatch")
-        if rec["codec"] is None:
-            if rec["compress_time_s"] != 0 or rec["compress_energy_j"] != 0:
-                errors.append(f"{where}: uncompressed baseline carries codec cost")
-            if rec["ratio"] != 1.0:
-                errors.append(f"{where}: uncompressed baseline ratio != 1.0")
-        key = (
-            rec["dataset"],
-            rec["codec"],
-            rec["rel_bound"],
-            rec["io_library"],
-            rec["cpu"],
-        )
-        by_config.setdefault(key, []).append(
-            (float(rec["freq_ghz"]), float(rec["compress_time_s"]))
-        )
-    for key, points in by_config.items():
-        points.sort()
-        for (f_lo, t_lo), (f_hi, t_hi) in zip(points, points[1:]):
-            if t_hi > t_lo + 1e-9:
-                errors.append(
-                    f"config {key}: compress time rose with frequency "
-                    f"({t_lo}s @ {f_lo} GHz -> {t_hi}s @ {f_hi} GHz)"
-                )
-    return errors
+    return _unified.check(KIND, path)
 
 
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
-        print("usage: check_dvfs_schema.py DVFS_sweep.json", file=sys.stderr)
+        print(f"usage: check_{KIND}_schema.py DVFS_sweep.json", file=sys.stderr)
         return 2
-    errors = check(Path(argv[1]))
-    if errors:
-        for err in errors:
-            print(f"FAIL: {err}", file=sys.stderr)
-        return 1
-    print(f"{argv[1]}: dvfs sweep records OK")
-    return 0
+    return _unified.main([argv[0], KIND, argv[1]])
 
 
 if __name__ == "__main__":

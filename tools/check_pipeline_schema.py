@@ -1,111 +1,36 @@
 #!/usr/bin/env python3
-"""Schema + invariant gate for pipeline-sweep records (CI bench-smoke job).
+"""Thin shim: pipeline records now validate through the unified checker.
 
-Validates the JSON array emitted by ``repro sweep --kind pipeline --json``:
-every record must be a tagged ``PipelinePoint`` with the expected fields and
-must satisfy the pipeline's physical invariants — the overlapped makespan
-never exceeds the stages run back to back, and an overlap-off control run
-sums exactly.  Exits non-zero (listing the violations) on any failure, so
-schema or model drift fails the build instead of shipping silently.
+The schema and the physical invariants (overlapped makespan never exceeds
+the stages back to back, overlap-off control sums exactly) live on the
+``pipeline`` :class:`~repro.runtime.registry.ExperimentKind`; this wrapper
+keeps the old CI entrypoint and its ``check(path)`` API working.  Prefer::
+
+    python tools/check_record_schemas.py pipeline PIPELINE_sweep.json
 """
 
 from __future__ import annotations
 
-import json
+import pathlib
 import sys
-from pathlib import Path
 
-REQUIRED = {
-    "__record__": str,
-    "dataset": str,
-    "io_library": str,
-    "cpu": str,
-    "n_chunks": int,
-    "overlap": bool,
-    "bytes_written": int,
-    "compress_time_s": (int, float),
-    "write_time_s": (int, float),
-    "total_time_s": (int, float),
-    "compress_energy_j": (int, float),
-    "write_energy_j": (int, float),
-}
-# codec / rel_bound are also required but may be null (uncompressed baseline).
-NULLABLE = {"codec": str, "rel_bound": (int, float)}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-#: Per-chunk slack for the makespan invariant.  Overlap can only *hide*
-#: stage time, but each additional chunk honestly pays its library's
-#: chunk_meta_latency_s (<= 3 ms for NetCDF classic), which the sequential
-#: stage sum does not include — so a degenerate config (tiny payload, many
-#: chunks) may legitimately end slightly above the stage sum.  10 ms/chunk
-#: comfortably covers every shipped cost model while still catching real
-#: model drift.
-CHUNK_META_ALLOWANCE_S = 0.01
+import check_record_schemas as _unified  # noqa: E402
+
+KIND = "pipeline"
 
 
-def check(path: Path) -> list[str]:
+def check(path) -> list[str]:
     """All schema/invariant violations in ``path`` (empty list = valid)."""
-    errors: list[str] = []
-    try:
-        records = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"cannot read {path}: {exc}"]
-    if not isinstance(records, list) or not records:
-        return [f"{path}: expected a non-empty JSON array of records"]
-    for i, rec in enumerate(records):
-        where = f"record[{i}]"
-        if not isinstance(rec, dict):
-            errors.append(f"{where}: not an object")
-            continue
-        if rec.get("__record__") != "PipelinePoint":
-            errors.append(f"{where}: __record__ != 'PipelinePoint'")
-            continue
-        for field, kind in REQUIRED.items():
-            if field not in rec:
-                errors.append(f"{where}: missing field {field!r}")
-            elif not isinstance(rec[field], kind) or isinstance(rec[field], bool) != (
-                kind is bool
-            ):
-                errors.append(f"{where}.{field}: wrong type {type(rec[field]).__name__}")
-        for field, kind in NULLABLE.items():
-            if field not in rec:
-                errors.append(f"{where}: missing field {field!r}")
-            elif rec[field] is not None and not isinstance(rec[field], kind):
-                errors.append(f"{where}.{field}: wrong type {type(rec[field]).__name__}")
-        if errors and errors[-1].startswith(where):
-            continue  # field errors already make invariants meaningless
-        if rec["bytes_written"] < 1:
-            errors.append(f"{where}: bytes_written must be >= 1")
-        if rec["n_chunks"] < 1:
-            errors.append(f"{where}: n_chunks must be >= 1")
-        if min(rec["compress_time_s"], rec["write_time_s"], rec["total_time_s"]) < 0:
-            errors.append(f"{where}: negative stage time")
-        if min(rec["compress_energy_j"], rec["write_energy_j"]) < 0:
-            errors.append(f"{where}: negative energy")
-        stage_sum = rec["compress_time_s"] + rec["write_time_s"]
-        allowance = CHUNK_META_ALLOWANCE_S * rec["n_chunks"]
-        if rec["total_time_s"] > stage_sum + allowance + 1e-9:
-            errors.append(
-                f"{where}: overlapped total {rec['total_time_s']} exceeds "
-                f"stage sum {stage_sum} + chunk-metadata allowance {allowance}"
-            )
-        if not rec["overlap"] and abs(rec["total_time_s"] - stage_sum) > 1e-9:
-            errors.append(f"{where}: overlap-off control does not sum exactly")
-        if (rec["codec"] is None) != (rec["rel_bound"] is None):
-            errors.append(f"{where}: codec/rel_bound nullability mismatch")
-    return errors
+    return _unified.check(KIND, path)
 
 
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
-        print("usage: check_pipeline_schema.py PIPELINE_sweep.json", file=sys.stderr)
+        print(f"usage: check_{KIND}_schema.py PIPELINE_sweep.json", file=sys.stderr)
         return 2
-    errors = check(Path(argv[1]))
-    if errors:
-        for err in errors:
-            print(f"FAIL: {err}", file=sys.stderr)
-        return 1
-    print(f"{argv[1]}: pipeline sweep records OK")
-    return 0
+    return _unified.main([argv[0], KIND, argv[1]])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Registry-driven schema + invariant gate for sweep records (CI bench-smoke).
+
+Validates the JSON array emitted by ``repro sweep --kind KIND --json``
+against KIND's registered record schema (derived from the record dataclass
+by :mod:`repro.runtime.registry`) and its registered physical invariants —
+the same checks the per-kind ``check_pipeline_schema.py`` /
+``check_dvfs_schema.py`` / ``check_checkpoint_schema.py`` tools used to
+hand-maintain, now declared once per kind in the registry.  A plugin kind
+that registers ``invariants`` is validated by this tool with no tool
+changes.
+
+Usage::
+
+    python tools/check_record_schemas.py KIND SWEEP.json
+
+Exits non-zero (listing the violations) on any failure, so schema or model
+drift fails the build instead of shipping silently.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+
+def check(kind_name: str, path) -> list[str]:
+    """All schema/invariant violations in ``path`` (empty list = valid)."""
+    from repro.errors import ConfigurationError
+    from repro.runtime import registry
+
+    try:
+        kind = registry.get_kind(kind_name)
+    except ConfigurationError as exc:
+        return [str(exc)]
+    try:
+        records = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    return kind.check_records(records)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print("usage: check_record_schemas.py KIND SWEEP.json", file=sys.stderr)
+        return 2
+    errors = check(argv[1], argv[2])
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    print(f"{argv[2]}: {argv[1]} sweep records OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
