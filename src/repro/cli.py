@@ -208,6 +208,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist evaluated points as JSON under this directory",
     )
     p.add_argument(
+        "--resume",
+        action="store_true",
+        help="report progress from this sweep's manifest under --cache-dir "
+        "before continuing it (completed points answer from the cache)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per grid point after a retryable failure",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point attempt timeout in seconds (thread/process "
+        "executors only; the serial loop cannot preempt an attempt)",
+    )
+    p.add_argument(
+        "--on-error",
+        default="raise",
+        choices=("raise", "collect"),
+        help="when a point exhausts its attempts: re-raise (default) or "
+        "keep sweeping and report it as a structured failure",
+    )
+    p.add_argument(
         "--scale",
         default="test",
         choices=("tiny", "test", "bench"),
@@ -459,14 +485,38 @@ def _sweep_table(records, kind_name: str | None = None) -> str:
     return format_table(["record"], [[repr(r)] for r in records])
 
 
+def _failure_table(failures) -> str:
+    """Render collected :class:`FailedPoint`s as a diagnostic table."""
+    rows = [
+        [
+            f.op,
+            ", ".join(f"{k}={v}" for k, v in f.params) or "-",
+            f.reason,
+            f.attempts,
+            f.error_chain[0] if f.error_chain else "-",
+        ]
+        for f in failures
+    ]
+    return format_table(
+        ["op", "params", "reason", "tries", "error"],
+        rows,
+        title=f"{len(failures)} failed grid points",
+    )
+
+
 def _cmd_sweep(args) -> int:
     import json as _json
 
     from repro.core.experiments import Testbed
     from repro.runtime.engine import SweepEngine
+    from repro.runtime.faults import FailedPoint, RetryPolicy, SweepManifest, sweep_id
     from repro.runtime.spec import SweepSpec
-    from repro.runtime.store import ResultStore
+    from repro.runtime.store import ResultStore, testbed_fingerprint
 
+    if args.resume and not args.cache_dir:
+        print("--resume needs --cache-dir: the manifest lives next to the "
+              "cache entries", file=sys.stderr)
+        return 2
     if args.spec:
         with open(args.spec) as fh:
             spec = SweepSpec.from_json(fh.read())
@@ -479,30 +529,57 @@ def _cmd_sweep(args) -> int:
             for axis in registry.cli_axes()
         }
         spec = SweepSpec(kind=args.kind, **axes)
+    testbed = Testbed(scale=args.scale)
+    if args.resume:
+        progress = SweepManifest.progress(
+            args.cache_dir, sweep_id(spec, testbed_fingerprint(testbed))
+        )
+        if progress is None:
+            print("no manifest for this sweep yet; starting fresh",
+                  file=sys.stderr)
+        else:
+            print(f"resuming: {progress[0]}/{progress[1]} unique points "
+                  "already complete", file=sys.stderr)
     engine = SweepEngine(
-        testbed=Testbed(scale=args.scale),
+        testbed=testbed,
         store=ResultStore(cache_dir=args.cache_dir),
         executor=args.executor,
         max_workers=args.workers,
+        retry_policy=RetryPolicy(
+            max_attempts=args.retries + 1, timeout_s=args.timeout
+        ),
+        on_error=args.on_error,
     )
-    records = engine.run(spec)
-    if not records:
+    results = engine.run(spec)
+    if not results:
         print("sweep expanded to zero grid points", file=sys.stderr)
         return 1
+    failures = [r for r in results if isinstance(r, FailedPoint)]
+    records = [r for r in results if not isinstance(r, FailedPoint)]
     if args.json:
         # Lossless round-trips carry psnr_db=inf; registry.to_wire keeps
         # the emitted JSON RFC-valid (json.dumps would print `Infinity`).
-        print(_json.dumps(registry.to_wire(records), indent=2))
+        # Failed positions stay in grid order as tagged __failed__ objects.
+        wire_records = iter(registry.to_wire(records))
+        wire = [
+            r.to_wire() if isinstance(r, FailedPoint) else next(wire_records)
+            for r in results
+        ]
+        print(_json.dumps(wire, indent=2))
     else:
-        print(_sweep_table(records, kind_name=spec.kind))
+        if records:
+            print(_sweep_table(records, kind_name=spec.kind))
+        if failures:
+            print(_failure_table(failures))
         stats = engine.store.stats
         print(
-            f"\n{len(records)} points: {engine.stats.computed} computed, "
+            f"\n{len(results)} points: {engine.stats.computed} computed, "
             f"{engine.stats.cache_hits} cached "
-            f"(memory {stats['memory_hits']}, disk {stats['disk_hits']}) "
+            f"(memory {stats['memory_hits']}, disk {stats['disk_hits']}), "
+            f"{engine.stats.retries} retries, {len(failures)} failed "
             f"via {args.executor} executor"
         )
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_bench(args) -> int:

@@ -32,7 +32,16 @@ from repro.runtime.benchmark import (
     run_kernels,
     validate_doc,
 )
-from repro.runtime.engine import EXECUTORS, EngineStats, SweepEngine, SweepEvent
+from repro.runtime.engine import EXECUTORS, ON_ERROR, EngineStats, SweepEngine, SweepEvent
+from repro.runtime.faults import (
+    FailedPoint,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+    SweepManifest,
+    error_chain,
+    sweep_id,
+)
 from repro.runtime.registry import (
     ExperimentKind,
     all_kinds,
@@ -58,21 +67,28 @@ __all__ = [
     "CACHE_VERSION",
     "EXECUTORS",
     "KERNELS",
+    "ON_ERROR",
     "SWEEP_KINDS",
     "EngineStats",
     "ExperimentKind",
+    "FailedPoint",
+    "FaultInjector",
     "GridPoint",
+    "InjectedFault",
     "KernelInputs",
     "KernelSpec",
     "ResultStore",
+    "RetryPolicy",
     "SweepEngine",
     "SweepEvent",
+    "SweepManifest",
     "SweepSpec",
     "all_kinds",
     "compare_docs",
     "decode_record",
     "default_store",
     "encode_record",
+    "error_chain",
     "get_kind",
     "kernel_inputs",
     "kind_names",
@@ -82,6 +98,7 @@ __all__ = [
     "register_record",
     "run_and_report",
     "run_kernels",
+    "sweep_id",
     "testbed_fingerprint",
     "unregister",
 ]

@@ -11,8 +11,12 @@ survive between runs.
 :class:`ResultStore` layers an in-memory dict over an optional directory of
 one-JSON-file-per-key entries.  Records are the frozen dataclasses from
 :mod:`repro.core.experiments`, encoded with an explicit ``__record__`` type
-tag (nested records nest naturally).  A disk entry that fails to parse is
-treated as a miss and recomputed, never trusted.
+tag (nested records nest naturally).  Disk entries carry a SHA-256 payload
+checksum; an entry that fails to parse or to verify is quarantined (renamed
+``*.corrupt``), counted in :attr:`ResultStore.stats`, and recomputed — never
+trusted, never silently re-read.  Writes go through unique temp files and an
+atomic rename under an advisory directory lock, so concurrent engines (and
+concurrent threads) can share one cache directory safely.
 
 Cache invalidation: the key covers *parameters*, not *code*.  Changing the
 throughput calibration, a codec implementation, or a dataset generator
@@ -28,8 +32,15 @@ import hashlib
 import json
 import math
 import os
+import tempfile
 import threading
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.errors import ConfigurationError
 
@@ -195,6 +206,39 @@ def _from_jsonsafe(value):
     return value
 
 
+@contextmanager
+def _file_lock(fh):
+    """Advisory exclusive ``flock`` on an open file; no-op without fcntl.
+
+    Advisory by design: every writer in this codebase takes it, so engines
+    sharing a cache directory serialize their metadata operations, while
+    plain readers (and platforms without ``fcntl``) are never blocked out
+    of their own files.
+    """
+    if fcntl is None or fh is None:
+        yield
+        return
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+    except OSError:
+        yield
+        return
+    try:
+        yield
+    finally:
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            pass
+
+
+def _record_checksum(record_payload) -> str:
+    """SHA-256 over the canonical JSON of a JSON-safe encoded record."""
+    return hashlib.sha256(
+        _canonical_json(record_payload).encode("utf-8")
+    ).hexdigest()
+
+
 # -- the store ----------------------------------------------------------------
 
 
@@ -215,9 +259,20 @@ class ResultStore:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.corrupt_quarantined = 0
 
     def _disk_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
+
+    @contextmanager
+    def _dir_lock(self):
+        """Advisory cross-process lock on the whole cache directory."""
+        if self.cache_dir is None:
+            yield
+            return
+        with open(self.cache_dir / ".lock", "a") as fh:
+            with _file_lock(fh):
+                yield
 
     def get(self, key: str):
         """The cached record for ``key``, or None (counted as a miss)."""
@@ -234,17 +289,45 @@ class ResultStore:
                 self.misses += 1
         return record
 
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Set a corrupt entry aside as ``<key>.corrupt`` and count it."""
+        target = self.cache_dir / f"{key}.corrupt"
+        with self._dir_lock():
+            try:
+                os.replace(path, target)
+            except OSError:
+                return  # another reader quarantined it first
+        with self._lock:
+            self.corrupt_quarantined += 1
+
     def _read_disk(self, key: str):
         if self.cache_dir is None:
             return None
         path = self._disk_path(key)
         try:
-            payload = _from_jsonsafe(json.loads(path.read_text()))
-            return decode_record(payload["record"])
-        except FileNotFoundError:
+            text = path.read_text()
+        except OSError:
+            # Absent (or unreadable) is a plain miss: there is no entry to
+            # distrust, so nothing to quarantine.
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
-            # A corrupt or stale entry is a miss, never an error.
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("entry is not a JSON object")
+            if payload.get("version") != CACHE_VERSION:
+                # A well-formed entry from another cache version is stale,
+                # not corrupt: leave it for its own version, miss here.
+                return None
+            raw_record = payload["record"]
+            checksum = payload.get("checksum")
+            if checksum is not None and checksum != _record_checksum(raw_record):
+                raise ValueError("entry failed its payload checksum")
+            return decode_record(_from_jsonsafe(raw_record))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Truncated, bit-flipped, or semantically undecodable: quarantine
+            # so the corruption is visible in stats and never re-parsed, then
+            # report a miss so the caller recomputes.
+            self._quarantine(key, path)
             return None
 
     def put(self, key: str, record) -> None:
@@ -253,29 +336,60 @@ class ResultStore:
             self._mem[key] = record
         if self.cache_dir is None:
             return
-        payload = {"version": CACHE_VERSION, "record": encode_record(record)}
+        raw_record = _jsonsafe(encode_record(record))
+        payload = {
+            "version": CACHE_VERSION,
+            "checksum": _record_checksum(raw_record),
+            "record": raw_record,
+        }
+        text = json.dumps(payload, sort_keys=True, allow_nan=False)
         path = self._disk_path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(_jsonsafe(payload), allow_nan=False))
-        os.replace(tmp, path)  # atomic: readers see old or new, never partial
+        # mkstemp gives every writer its own file — two threads in one
+        # process (same pid) can race a put for the same key safely.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            with self._dir_lock():
+                os.replace(tmp_name, path)  # atomic: old or new, never partial
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def __contains__(self, key: str) -> bool:
+        """Whether ``key`` would hit — through the same parse-or-miss path
+        as :meth:`get`, so a corrupt disk entry is never reported present.
+        Does not touch hit/miss statistics or promote the entry to memory.
+        """
         with self._lock:
             if key in self._mem:
                 return True
-        return self.cache_dir is not None and self._disk_path(key).exists()
+        return self._read_disk(key) is not None
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._mem)
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the in-memory layer; ``disk=True`` also deletes disk entries."""
+        """Drop the in-memory layer; ``disk=True`` also deletes disk state.
+
+        Disk clearing removes entries, quarantined ``*.corrupt`` files,
+        stranded ``*.tmp`` files from killed writers, and sweep manifests —
+        everything except the advisory ``.lock`` file itself.
+        """
         with self._lock:
             self._mem.clear()
         if disk and self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.json"):
-                path.unlink(missing_ok=True)
+            with self._dir_lock():
+                for pattern in ("*.json", "*.corrupt", "*.tmp", "*.tmp.*",
+                                "*.manifest.jsonl"):
+                    for path in self.cache_dir.glob(pattern):
+                        path.unlink(missing_ok=True)
 
     @property
     def stats(self) -> dict:
@@ -285,6 +399,7 @@ class ResultStore:
                 "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits,
                 "misses": self.misses,
+                "corrupt_quarantined": self.corrupt_quarantined,
             }
 
 

@@ -6,6 +6,13 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection battery (run in its own CI job: -m chaos)",
+    )
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(123456)

@@ -191,6 +191,7 @@ class TestResultStore:
         assert store.get("k") is self.REC
         assert store.stats == {
             "entries": 1, "memory_hits": 1, "disk_hits": 0, "misses": 1,
+            "corrupt_quarantined": 0,
         }
 
     def test_encode_decode_nested(self):
@@ -217,12 +218,99 @@ class TestResultStore:
         (tmp_path / "bad.json").write_text("{not json")
         assert store.get("bad") is None
 
+    def test_corrupt_entry_quarantined_and_counted(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.get("bad") is None
+        assert store.stats["corrupt_quarantined"] == 1
+        assert not (tmp_path / "bad.json").exists()
+        assert (tmp_path / "bad.corrupt").exists()
+        # quarantined once: the next read is a plain absent-file miss
+        assert store.get("bad") is None
+        assert store.stats["corrupt_quarantined"] == 1
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        warm = ResultStore(cache_dir=tmp_path)
+        warm.put("k", self.REC)
+        path = tmp_path / "k.json"
+        payload = json.loads(path.read_text())
+        payload["record"]["ratio"] = 999.0  # bit-flip: valid JSON, wrong sum
+        path.write_text(json.dumps(payload))
+        cold = ResultStore(cache_dir=tmp_path)
+        assert cold.get("k") is None
+        assert cold.stats["corrupt_quarantined"] == 1
+        assert (tmp_path / "k.corrupt").exists()
+
+    def test_stale_version_is_miss_not_corrupt(self, tmp_path):
+        warm = ResultStore(cache_dir=tmp_path)
+        warm.put("k", self.REC)
+        path = tmp_path / "k.json"
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        cold = ResultStore(cache_dir=tmp_path)
+        assert cold.get("k") is None
+        assert cold.stats["corrupt_quarantined"] == 0
+        assert path.exists()  # left for its own cache version
+
+    def test_legacy_checksumless_entry_still_reads(self, tmp_path):
+        warm = ResultStore(cache_dir=tmp_path)
+        warm.put("k", self.REC)
+        path = tmp_path / "k.json"
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert ResultStore(cache_dir=tmp_path).get("k") == self.REC
+
+    def test_contains_matches_get_for_corrupt_entries(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("good", self.REC)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert "good" in store
+        assert "bad" not in store  # same parse-or-miss path as get()
+        cold = ResultStore(cache_dir=tmp_path)
+        assert "good" in cold
+        assert "bad" not in cold
+
+    def test_put_tmp_race_between_threads(self, tmp_path):
+        import threading
+
+        store = ResultStore(cache_dir=tmp_path)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(25):
+                    store.put("k", self.REC)
+            except BaseException as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert ResultStore(cache_dir=tmp_path).get("k") == self.REC
+        assert not list(tmp_path.glob("*.tmp"))  # no stranded temp files
+
     def test_clear(self, tmp_path):
         store = ResultStore(cache_dir=tmp_path)
         store.put("k", self.REC)
         store.clear(disk=True)
         assert len(store) == 0
         assert ResultStore(cache_dir=tmp_path).get("k") is None
+
+    def test_clear_removes_tmp_corrupt_and_manifest_strays(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("k", self.REC)
+        (tmp_path / ".abc123.x9y8.tmp").write_text("half-written")
+        (tmp_path / "dead.json.tmp.12345").write_text("legacy tmp layout")
+        (tmp_path / "old.corrupt").write_text("quarantined")
+        (tmp_path / "sweep-abc.manifest.jsonl").write_text('{"key": "k"}\n')
+        store.clear(disk=True)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != ".lock"]
+        assert leftovers == []
 
 
 class TestSweepEngine:
@@ -302,6 +390,42 @@ class TestSweepEngine:
         test = engine.run(spec)[0]
         assert engine.stats.computed == 2
         assert test.scale == "test" and test != tiny
+
+    def test_worker_testbed_cache_keyed_by_fingerprint(self):
+        # _WORKER_TESTBEDS must key on the full testbed fingerprint: after
+        # the parent mutates config between runs, a pool worker must build
+        # a fresh testbed, never reuse the one cached for the old config.
+        from repro.runtime.engine import _WORKER_TESTBEDS, _evaluate_in_worker
+        from repro.runtime.store import point_key, testbed_fingerprint
+
+        _WORKER_TESTBEDS.clear()
+        for scale in ("tiny", "test"):
+            config = SweepEngine(testbed=Testbed(scale=scale))._testbed_config()
+            config_id = point_key(
+                "__testbed__", {}, testbed_fingerprint(Testbed(scale=scale))
+            )
+            rec = _evaluate_in_worker(
+                config, config_id, "roundtrip",
+                {"dataset": "cesm", "codec": "szx", "rel_bound": 1e-3},
+            )
+            assert rec.scale == scale
+        assert len(_WORKER_TESTBEDS) == 2  # one cached testbed per config
+        _WORKER_TESTBEDS.clear()
+
+    def test_process_pool_not_stale_after_testbed_mutation(self):
+        # End-to-end flavour of the above: same engine, same spec, config
+        # mutated between process-pool runs — records must track the change.
+        tb = Testbed(scale="tiny")
+        engine = SweepEngine(testbed=tb, store=ResultStore(),
+                             executor="process", max_workers=2)
+        spec = SweepSpec(kind="quality", datasets=("cesm",),
+                         codecs=("szx", "sz3"), bounds=(1e-3,))
+        tiny = engine.run(spec)
+        tb.scale = "test"
+        test = engine.run(spec)
+        assert all(r.scale == "tiny" for r in tiny)
+        assert all(r.scale == "test" for r in test)
+        assert engine.stats.computed == 4  # nothing served stale
 
     def test_pool_events_carry_total(self, tiny_testbed):
         events = []
