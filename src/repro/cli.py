@@ -24,6 +24,7 @@ import sys
 
 import numpy as np
 
+import repro.dataset  # noqa: F401  (registers the `dataset` experiment kind)
 from repro import __version__
 from repro.compressors import available_compressors, get_compressor
 from repro.compressors.base import Compressor
@@ -107,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--bounds",
         default="1e-1,1e-2,1e-3,1e-4,1e-5",
         help="comma-separated REL error-bound grid the advisor searches",
+    )
+    p.add_argument(
+        "--compression",
+        default=None,
+        help="compression-spec string overriding --codecs/--bounds: "
+        "'lossy,<codec>,rel,<bound>' pins both, 'auto,rel,<floor>' caps "
+        "the bound grid at the quality floor (see docs/user-guide/datasets.md)",
     )
     p.add_argument(
         "--dvfs",
@@ -277,6 +285,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the result document as JSON on stdout",
     )
 
+    p = sub.add_parser(
+        "dataset",
+        help="write/read/tune datasets through the compression facade",
+        description="The enstools-style facade: resolve a compression-spec "
+        "string per variable (auto specs search the sweep grid), write the "
+        "compressed container, read it back bit-exactly, or just report the "
+        "tuning as `dataset`-kind records.",
+    )
+    dsub = p.add_subparsers(dest="dataset_command", required=True)
+    common = dict(
+        datasets=("--datasets", dict(
+            default="cesm",
+            help="comma-separated catalogue names (one variable each)")),
+        compression=("--compression", dict(
+            default="auto,rel,1e-3",
+            help="compression spec or per-variable map, e.g. "
+            "'cesm:lossy,sz3,rel,1e-3;auto' (see docs/user-guide/datasets.md)")),
+        io=("--io", dict(default="hdf5", choices=("hdf5", "netcdf"))),
+        cpu=("--cpu", dict(default="max9480")),
+        scale=("--scale", dict(
+            default="test", choices=("tiny", "test", "bench"),
+            help="synthetic data scale")),
+        codecs=("--codecs", dict(
+            default="sz2,sz3,zfp,qoz,szx",
+            help="codec grid an 'auto' spec searches")),
+        bounds=("--bounds", dict(
+            default="1e-1,1e-2,1e-3,1e-4,1e-5",
+            help="REL bound grid an 'auto' spec searches")),
+    )
+
+    w = dsub.add_parser("write", help="compress per spec and write a container")
+    w.add_argument("output", help="container file to write")
+    for key in ("datasets", "compression", "io", "scale", "codecs", "bounds"):
+        flag, kw = common[key]
+        w.add_argument(flag, **kw)
+    w.add_argument("--n-chunks", type=int, default=1,
+                   help="store each variable as this many leading-axis chunks")
+
+    r = dsub.add_parser("read", help="read a facade container back")
+    r.add_argument("input", help="container file written by `repro dataset write`")
+    r.add_argument("--out-dir", default=None,
+                   help="also dump each variable as OUT_DIR/<name>.npy")
+
+    t = dsub.add_parser(
+        "tune",
+        help="resolve specs against the sweep grid (dataset-kind records)",
+    )
+    for key in ("datasets", "compression", "io", "cpu", "scale", "codecs",
+                "bounds"):
+        flag, kw = common[key]
+        t.add_argument(flag, **kw)
+    t.add_argument("--json", action="store_true",
+                   help="emit the records as a JSON array instead of a table")
+
     sub.add_parser("datasets", help="list the dataset catalogue (Table II)")
     sub.add_parser("cpus", help="list the CPU catalogue (Table I)")
     sub.add_parser("codecs", help="list registered compressors")
@@ -355,6 +417,7 @@ def _cmd_advise(args) -> int:
         codecs=_csv_arg(args.codecs),
         bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
         require_time_benefit=args.strict_time,
+        compression=args.compression,
     )
     print(rec.rationale)
     if rec.should_compress:
@@ -384,6 +447,7 @@ def _cmd_advise_dvfs(args) -> int:
         freqs=freqs,
         objective=args.objective,
         require_time_benefit=args.strict_time,
+        compression=args.compression,
     )
     print(advice.rationale)
     rows = [
@@ -438,6 +502,7 @@ def _cmd_advise_checkpoint(args) -> int:
         interval=_interval_arg(args.interval),
         seed=args.seed,
         downtime_s=args.downtime,
+        compression=args.compression,
     )
     print(advice.rationale)
     ranked = sorted(advice.candidates, key=lambda p: p.expected_energy_j)
@@ -601,6 +666,123 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _tuning_table(tuning, title: str) -> str:
+    rows = [
+        [
+            e.variable,
+            e.requested,
+            e.resolved,
+            f"{e.ratio:.2f}",
+            f"{e.max_rel_err:.2e}",
+            "-" if e.floor is None else f"{e.floor:.0e}",
+            e.candidates,
+        ]
+        for e in tuning
+    ]
+    return format_table(
+        ["variable", "requested", "resolved", "ratio", "max rel err",
+         "floor", "cands"],
+        rows,
+        title=title,
+    )
+
+
+def _cmd_dataset_write(args) -> int:
+    from repro.core.experiments import Testbed
+    from repro.dataset import AutoTuner, Dataset, write
+
+    ds = Dataset.from_catalog(_csv_arg(args.datasets), scale=args.scale)
+    tuner = AutoTuner(
+        testbed=Testbed(scale=args.scale),
+        codecs=_csv_arg(args.codecs),
+        bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
+        io_library=args.io,
+    )
+    report = write(
+        ds,
+        args.output,
+        compression=args.compression,
+        io_library=args.io,
+        n_chunks=args.n_chunks,
+        tuner=tuner,
+    )
+    print(_tuning_table(report.tuning, title=f"wrote {args.output}"))
+    print(
+        f"{si(report.original_nbytes, 'B')} -> {si(report.bytes_written, 'B')} "
+        f"({report.ratio:.2f}x) via {report.io_library}, "
+        f"spec {report.compression}"
+    )
+    return 0
+
+
+def _cmd_dataset_read(args) -> int:
+    import pathlib
+
+    from repro.dataset import read
+
+    ds = read(args.input)
+    rows = [
+        [
+            v.name,
+            "x".join(map(str, v.data.shape)),
+            str(v.data.dtype),
+            si(v.nbytes, "B"),
+            ds.attrs.get(f"spec/{v.name}", "-"),
+        ]
+        for v in ds
+    ]
+    print(
+        format_table(
+            ["variable", "shape", "dtype", "size", "stored spec"],
+            rows,
+            title=f"{args.input} ({ds.attrs.get('io_library', '?')})",
+        )
+    )
+    if args.out_dir:
+        out = pathlib.Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for v in ds:
+            np.save(out / f"{v.name}.npy", v.data)
+        print(f"dumped {len(ds)} arrays under {out}/")
+    return 0
+
+
+def _cmd_dataset_tune(args) -> int:
+    import json as _json
+
+    from repro.core.experiments import Testbed
+    from repro.runtime.engine import SweepEngine
+    from repro.runtime.spec import SweepSpec
+    from repro.runtime.store import ResultStore
+
+    spec = SweepSpec(
+        kind="dataset",
+        datasets=_csv_arg(args.datasets),
+        codecs=_csv_arg(args.codecs),
+        bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
+        cpus=(args.cpu,),
+        io_libraries=(args.io,),
+        compression=args.compression,
+    )
+    engine = SweepEngine(
+        testbed=Testbed(scale=args.scale), store=ResultStore(), executor="serial"
+    )
+    records = engine.run(spec)
+    if args.json:
+        print(_json.dumps(registry.to_wire(records), indent=2))
+    else:
+        print(_sweep_table(records, kind_name="dataset"))
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    return {
+        "write": _cmd_dataset_write,
+        "read": _cmd_dataset_read,
+        "tune": _cmd_dataset_tune,
+    }[args.dataset_command](args)
+
+
 def _cmd_datasets(args) -> int:
     from repro.data.registry import DATASETS
 
@@ -645,6 +827,7 @@ _COMMANDS = {
     "decompress": _cmd_decompress,
     "inspect": _cmd_inspect,
     "advise": _cmd_advise,
+    "dataset": _cmd_dataset,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "datasets": _cmd_datasets,

@@ -71,6 +71,7 @@ class Advisor:
         codecs=("sz2", "sz3", "zfp", "qoz", "szx"),
         bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
         require_time_benefit: bool = True,
+        compression: str | None = None,
     ) -> Recommendation:
         """Pick the best plan meeting Eq. 5 (and, optionally, Eq. 3-4).
 
@@ -79,11 +80,19 @@ class Advisor:
         - ``"energy"`` — minimize compress+write energy (Eq. 4 LHS);
         - ``"ratio"``  — maximize compression ratio (storage-bound sites);
         - ``"time"``   — minimize compress+write time (Eq. 3 LHS).
+
+        ``compression`` (a spec string, see :mod:`repro.dataset.spec`)
+        overrides ``codecs``/``bounds``: ``lossy`` pins both, ``auto``
+        filters the bound grid to its quality floor.
         """
         if objective not in _OBJECTIVES:
             raise ConfigurationError(
                 f"objective must be one of {_OBJECTIVES}, got {objective!r}"
             )
+        if compression:
+            from repro.dataset.spec import advisor_grid_from_spec
+
+            codecs, bounds = advisor_grid_from_spec(compression, codecs, bounds)
         records = self.analyzer.evaluate(
             dataset, codecs=codecs, bounds=bounds, psnr_min_db=psnr_min_db
         )
@@ -277,8 +286,17 @@ class DalyAdvisor:
         downtime_s: float = 60.0,
         n_chunks: int = 1,
         overlap: bool = False,
+        compression: str | None = None,
     ) -> CheckpointAdvice:
-        """Emit a :class:`CheckpointAdvice` for one dataset/CPU/IO scenario."""
+        """Emit a :class:`CheckpointAdvice` for one dataset/CPU/IO scenario.
+
+        ``compression`` overrides ``codecs``/``bounds`` from a spec string
+        (see :meth:`Advisor.recommend`).
+        """
+        if compression:
+            from repro.dataset.spec import advisor_grid_from_spec
+
+            codecs, bounds = advisor_grid_from_spec(compression, codecs, bounds)
         points = self.testbed.run_checkpoint_sweep(
             datasets=(dataset,),
             codecs=codecs,
@@ -449,6 +467,7 @@ class DvfsAdvisor:
         freqs: tuple[float, ...] = (),
         objective: str = "energy",
         require_time_benefit: bool = False,
+        compression: str | None = None,
     ) -> CompressionAdvice:
         """Emit a :class:`CompressionAdvice` for one dataset/CPU/IO scenario.
 
@@ -469,6 +488,10 @@ class DvfsAdvisor:
             raise ConfigurationError(
                 f"objective must be one of {_OBJECTIVES}, got {objective!r}"
             )
+        if compression:
+            from repro.dataset.spec import advisor_grid_from_spec
+
+            codecs, bounds = advisor_grid_from_spec(compression, codecs, bounds)
         cpu = get_cpu(self.cpu_name)
         points = self._grid(dataset, codecs, bounds, freqs)
         baseline_nom = self.testbed.engine.evaluate(

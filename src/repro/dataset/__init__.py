@@ -1,0 +1,42 @@
+"""Dataset I/O façade: one compression-spec language for every layer.
+
+Public surface::
+
+    from repro.dataset import Dataset, Variable, write, read, AutoTuner
+    from repro.dataset import CompressionSpec, parse_compression
+
+    ds = Dataset.from_catalog(["cesm", "hacc"], scale="tiny")
+    write(ds, "out.h5", compression="cesm:lossy,sz3,rel,1e-3;auto")
+    back = read("out.h5")
+
+Importing this package also registers the ``dataset`` experiment kind with
+the runtime registry (``repro sweep --kind dataset``); see
+:mod:`repro.dataset.kind`.  The grammar is documented in
+``docs/user-guide/datasets.md``.
+"""
+
+from repro.dataset.containers import Dataset, Variable
+from repro.dataset.facade import WriteReport, read, write
+from repro.dataset.kind import DATASET_KIND, DatasetPoint
+from repro.dataset.spec import (
+    CompressionMap,
+    CompressionSpec,
+    parse_compression,
+)
+from repro.dataset.tuner import AutoTuner, TuningReport, VariableTuning
+
+__all__ = [
+    "AutoTuner",
+    "CompressionMap",
+    "CompressionSpec",
+    "DATASET_KIND",
+    "Dataset",
+    "DatasetPoint",
+    "TuningReport",
+    "Variable",
+    "VariableTuning",
+    "WriteReport",
+    "parse_compression",
+    "read",
+    "write",
+]

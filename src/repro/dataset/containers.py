@@ -1,0 +1,129 @@
+"""In-memory ``Dataset``/``Variable`` containers over the data catalogue.
+
+A :class:`Variable` is one named array plus optional provenance (the
+catalogue entry and scale it was generated from); a :class:`Dataset` is an
+ordered collection of variables with file-level attributes — the unit the
+:mod:`repro.dataset.facade` writes and reads.  Containers are deliberately
+thin: they never compress, never touch disk, and hold read-only arrays so a
+round-trip comparison is always against the exact written bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Variable", "Dataset"]
+
+_NAME_FORBIDDEN = set(":;,/ \t\n")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One named array, optionally tracing back to a catalogue entry."""
+
+    name: str
+    data: np.ndarray
+    #: catalogue name (``"cesm"``...) when generated via
+    #: :meth:`Dataset.from_catalog` — lets the tuner answer from the
+    #: store-memoized sweep grid instead of compressing from scratch.
+    source: str | None = None
+    #: data scale the source was generated at (``tiny``/``test``/``bench``).
+    scale: str | None = None
+
+    def __post_init__(self):
+        if not self.name or _NAME_FORBIDDEN & set(self.name):
+            raise ConfigurationError(
+                f"invalid variable name {self.name!r} (must be non-empty, "
+                "without ':;,/' or whitespace — names key per-variable "
+                "compression specs and container members)"
+            )
+        data = np.asarray(self.data)
+        if data.dtype.kind != "f":
+            raise ConfigurationError(
+                f"variable {self.name!r}: expected a float array, got dtype "
+                f"{data.dtype}"
+            )
+        if data.size == 0:
+            raise ConfigurationError(f"variable {self.name!r} is empty")
+        data = np.ascontiguousarray(data)
+        data.setflags(write=False)
+        object.__setattr__(self, "data", data)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def ndim(self) -> int:
+        return int(self.data.ndim)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An ordered set of variables plus file-level attributes."""
+
+    variables: tuple[Variable, ...]
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        variables = tuple(self.variables)
+        if not variables:
+            raise ConfigurationError("a Dataset needs at least one variable")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate variable names: {dupes}")
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "attrs", dict(self.attrs))
+
+    @classmethod
+    def from_catalog(cls, names, scale: str = "test") -> "Dataset":
+        """Build a dataset from catalogue entries (``repro datasets``).
+
+        Each requested name becomes one variable carrying its provenance,
+        so ``auto`` specs tune against the memoized sweep grid.
+        """
+        from repro.data.registry import generate
+
+        if isinstance(names, str):
+            names = (names,)
+        variables = tuple(
+            Variable(name=n, data=generate(n, scale), source=n, scale=scale)
+            for n in names
+        )
+        return cls(variables=variables, attrs={"scale": scale})
+
+    @classmethod
+    def from_arrays(cls, arrays: dict, attrs: dict | None = None) -> "Dataset":
+        """Wrap plain ``{name: ndarray}`` pairs (ad-hoc user data)."""
+        variables = tuple(
+            Variable(name=n, data=a) for n, a in arrays.items()
+        )
+        return cls(variables=variables, attrs=dict(attrs or {}))
+
+    def __iter__(self):
+        return iter(self.variables)
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __getitem__(self, name: str) -> Variable:
+        for v in self.variables:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(v.name == name for v in self.variables)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(v.nbytes for v in self.variables)

@@ -1,0 +1,226 @@
+"""The ``auto`` resolver: cheapest codec+bound meeting a quality floor.
+
+An ``auto`` spec (``"auto,rel,1e-3"``) names *what quality* a variable must
+keep, not *how* to achieve it.  :class:`AutoTuner` resolves it by searching
+the same (codec, bound) grid the paper's sweeps cover: every candidate at
+or under the floor is scored by its modeled compress+write energy on the
+testbed, and the cheapest feasible one wins.  Catalogue-backed variables
+answer from the testbed's memoized roundtrip/io paths (so a tune after a
+sweep is nearly free); ad-hoc arrays are compressed for real.
+
+The result is a :class:`TuningReport` of per-variable
+:class:`VariableTuning` entries — each carrying the resolved concrete spec
+string the façade then writes with, the measured quality, and the
+candidate count, so a tune is auditable rather than a black box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.containers import Dataset, Variable
+from repro.dataset.spec import (
+    CompressionMap,
+    CompressionSpec,
+    parse_compression,
+)
+from repro.errors import CompressionError, ConfigurationError
+from repro.metrics.error import max_rel_error, value_range
+
+__all__ = ["AutoTuner", "TuningReport", "VariableTuning"]
+
+#: The paper's EBLC grid — the search space of an ``auto`` spec.
+DEFAULT_CODECS = ("sz2", "sz3", "zfp", "qoz", "szx")
+DEFAULT_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+
+
+@dataclass(frozen=True)
+class VariableTuning:
+    """How one variable's requested spec resolved to a concrete codec."""
+
+    variable: str
+    requested: str  # canonical requested spec (may be auto)
+    resolved: str  # canonical concrete spec (never auto)
+    codec: str
+    rel_bound: float  # value-range relative; 0.0 for lossless
+    floor: float | None  # the auto quality floor, None for explicit specs
+    max_rel_err: float
+    ratio: float
+    cost_energy_j: float  # modeled compress(+write) energy used for ranking
+    candidates: int  # grid points examined
+
+    @property
+    def meets_floor(self) -> bool:
+        return self.floor is None or self.max_rel_err <= self.floor
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Per-variable tuning outcomes, in dataset variable order."""
+
+    entries: tuple[VariableTuning, ...]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def for_variable(self, name: str) -> VariableTuning:
+        for entry in self.entries:
+            if entry.variable == name:
+                return entry
+        raise KeyError(name)
+
+    @property
+    def all_meet_floor(self) -> bool:
+        return all(entry.meets_floor for entry in self.entries)
+
+
+def _resolved_string(codec: str, rel_bound: float) -> str:
+    if rel_bound == 0.0:
+        return CompressionSpec(mode="lossless", codec=codec).canonical
+    return CompressionSpec(
+        mode="lossy", codec=codec, bound_mode="rel", bound=rel_bound
+    ).canonical
+
+
+class AutoTuner:
+    """Search the sweep grid for the cheapest spec meeting each floor."""
+
+    def __init__(
+        self,
+        testbed=None,
+        codecs: tuple[str, ...] = DEFAULT_CODECS,
+        bounds: tuple[float, ...] = DEFAULT_BOUNDS,
+        io_library: str = "hdf5",
+        cpu_name: str = "max9480",
+    ):
+        if testbed is None:
+            from repro.core.experiments import Testbed
+
+            testbed = Testbed(scale="tiny")
+        self.testbed = testbed
+        self.codecs = tuple(codecs)
+        self.bounds = tuple(bounds)
+        self.io_library = io_library
+        self.cpu_name = cpu_name
+
+    # -- candidate measurement -------------------------------------------------
+
+    def _measure(self, variable: Variable, codec: str, rel_bound: float):
+        """(max_rel_err, ratio, cost_energy_j) for one candidate.
+
+        Catalogue variables go through the testbed's memoized roundtrip and
+        io-point paths (grid identity matches the sweep kinds, so a prior
+        ``repro sweep`` already paid for them); ad-hoc arrays compress for
+        real with modeled compression energy as the cost.
+        """
+        if variable.source is not None and variable.scale == self.testbed.scale:
+            rt = self.testbed.roundtrip(variable.source, codec, rel_bound)
+            io = self.testbed.io_point(
+                variable.source,
+                codec,
+                rel_bound,
+                io_library=self.io_library,
+                cpu_name=self.cpu_name,
+            )
+            return rt.max_rel_err, rt.ratio, io.total_energy_j
+        from repro.compressors import get_compressor
+
+        buf, report = self.testbed.measure_compression(
+            codec, variable.data, rel_bound, cpu_name=self.cpu_name
+        )
+        recon = get_compressor(codec).decompress(buf.data)
+        return max_rel_error(variable.data, recon), buf.ratio, report.energy_j
+
+    # -- resolution -------------------------------------------------------------
+
+    def tune_variable(
+        self, variable: Variable, spec: CompressionSpec
+    ) -> VariableTuning:
+        """Resolve one spec for one variable (explicit specs pass through)."""
+        spec.validate()
+        if spec.mode == "lossless":
+            err, ratio, cost = self._measure(variable, spec.codec, 0.0)
+            return VariableTuning(
+                variable=variable.name,
+                requested=spec.canonical,
+                resolved=_resolved_string(spec.codec, 0.0),
+                codec=spec.codec,
+                rel_bound=0.0,
+                floor=None,
+                max_rel_err=err,
+                ratio=ratio,
+                cost_energy_j=cost,
+                candidates=1,
+            )
+        if spec.mode == "lossy":
+            rel = spec.rel_bound_for(value_range(variable.data))
+            err, ratio, cost = self._measure(variable, spec.codec, rel)
+            return VariableTuning(
+                variable=variable.name,
+                requested=spec.canonical,
+                resolved=_resolved_string(spec.codec, rel),
+                codec=spec.codec,
+                rel_bound=rel,
+                floor=None,
+                max_rel_err=err,
+                ratio=ratio,
+                cost_energy_j=cost,
+                candidates=1,
+            )
+        # auto: search (codec, bound) candidates at or under the floor.
+        floor = spec.rel_bound_for(value_range(variable.data))
+        candidate_bounds = tuple(b for b in self.bounds if b <= floor) or (floor,)
+        best = None
+        examined = 0
+        for codec in self.codecs:
+            for bound in candidate_bounds:
+                try:
+                    err, ratio, cost = self._measure(variable, codec, bound)
+                except (CompressionError, ConfigurationError):
+                    continue  # codec can't take this variable; not a candidate
+                examined += 1
+                if err > floor:
+                    continue
+                # Deterministic ranking: cheapest energy, then best ratio,
+                # then stable (codec, bound) order.
+                key = (cost, -ratio, codec, bound)
+                if best is None or key < best[0]:
+                    best = (key, codec, bound, err, ratio, cost)
+        if best is None:
+            raise ConfigurationError(
+                f"auto-tuning {variable.name!r}: no (codec, bound) candidate "
+                f"out of {examined or len(self.codecs)} met the quality "
+                f"floor {floor:g} (codecs {self.codecs}, bounds "
+                f"{candidate_bounds})"
+            )
+        _, codec, bound, err, ratio, cost = best
+        return VariableTuning(
+            variable=variable.name,
+            requested=spec.canonical,
+            resolved=_resolved_string(codec, bound),
+            codec=codec,
+            rel_bound=bound,
+            floor=floor,
+            max_rel_err=err,
+            ratio=ratio,
+            cost_energy_j=cost,
+            candidates=examined,
+        )
+
+    def tune(self, dataset: Dataset, compression) -> TuningReport:
+        """Resolve a spec string (or parsed spec/map) for a whole dataset."""
+        if isinstance(compression, str):
+            compression = parse_compression(compression)
+        entries = []
+        for variable in dataset:
+            if isinstance(compression, CompressionMap):
+                spec = compression.spec_for(variable.name)
+            else:
+                spec = compression
+            entries.append(self.tune_variable(variable, spec))
+        return TuningReport(entries=tuple(entries))

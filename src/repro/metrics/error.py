@@ -27,13 +27,20 @@ def max_abs_error(original: np.ndarray, recon: np.ndarray) -> float:
 def max_rel_error(original: np.ndarray, recon: np.ndarray) -> float:
     """Largest pointwise error relative to the value range (Eq. 1 semantics).
 
-    Returns ``inf`` only if the range is zero while the error is not, which
-    no conforming codec can produce.
+    A constant variable has zero value range, so Eq. 1's denominator
+    degenerates; rather than reporting ``inf`` for any nonzero deviation,
+    fall back to the variable's magnitude (``max|D|``) as the denominator —
+    the same normalisation NRMSE-style metrics use for flat fields.
+    ``inf`` remains only for the truly degenerate case of a deviation from
+    an all-zero variable.
     """
     rng = value_range(original)
     err = max_abs_error(original, recon)
     if rng == 0.0:
-        return 0.0 if err == 0.0 else float("inf")
+        if err == 0.0:
+            return 0.0
+        magnitude = float(np.abs(np.asarray(original, dtype=np.float64)).max())
+        return err / magnitude if magnitude > 0.0 else float("inf")
     return err / rng
 
 
@@ -50,8 +57,14 @@ def check_error_bound(
     ``slack`` absorbs the half-ulp of casting reconstructions back to the
     original dtype (float32 outputs round once more after the float64
     arithmetic the codecs guarantee the bound in).
+
+    A constant (zero-range) variable would otherwise turn the bound into an
+    exact-equality test; there the bound falls back to magnitude-relative
+    (``rel_bound * max|D|``), matching :func:`max_rel_error`.
     """
     rng = value_range(original)
+    if rng == 0.0:
+        rng = float(np.abs(np.asarray(original, dtype=np.float64)).max())
     bound = rel_bound * rng
     err = max_abs_error(original, recon)
     limit = bound * (1.0 + 1e-9) + slack * max(rng, 1.0)

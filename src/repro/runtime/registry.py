@@ -144,6 +144,10 @@ SWEEP_AXES: tuple[CliAxis, ...] = (
     CliAxis("paper_fidelity", "--paper-fidelity", "flag", False,
             "thread kind: drop codec/ndim combos the paper's toolchain "
             "could not run"),
+    CliAxis("compression", "--compression", "str", "",
+            "compression-spec string, e.g. 'lossy,sz3,rel,1e-3' or "
+            "'auto,rel,1e-3'; derives/narrows the codec and bound axes "
+            "(see docs/user-guide/datasets.md)"),
 )
 
 #: The spec fields a kind may legally claim.
@@ -647,6 +651,37 @@ def _expand_thread(spec) -> list:
     return out
 
 
+def _validate_thread(spec) -> None:
+    """Fail early — naming each capability reason — when ``paper_fidelity``
+    would drop *every* (codec, dataset) combination from a thread sweep.
+
+    Partial drops stay silent (the paper's own figures omit those series);
+    an entirely empty grid is a configuration error, and the reasons come
+    from :func:`repro.compressors.capabilities.unsupported_reason` instead
+    of a bare zero-record sweep.
+    """
+    if not spec.paper_fidelity:
+        return
+    from repro.compressors.capabilities import supported, unsupported_reason
+    from repro.data.registry import get_dataset
+
+    reasons = []
+    for ds in spec.datasets:
+        ndim = len(get_dataset(ds).paper_shape)
+        for codec in spec.codecs:
+            if supported(codec, ndim, "openmp"):
+                return  # at least one combination survives the filter
+            reasons.append(
+                f"{codec} on {ndim}-D {ds}: "
+                f"{unsupported_reason(codec, ndim, 'openmp')}"
+            )
+    if reasons:
+        raise ConfigurationError(
+            "--paper-fidelity drops every (codec, dataset) combination from "
+            "this thread sweep: " + "; ".join(reasons)
+        )
+
+
 def _expand_quality(spec) -> list:
     return [
         _grid_point("roundtrip", dataset=ds, codec=codec, rel_bound=eps)
@@ -1073,7 +1108,7 @@ def _invariants_checkpoint(records) -> list:
 # -- builtin registrations ----------------------------------------------------
 
 _IO_FIELDS = ("datasets", "codecs", "bounds", "cpus", "io_libraries",
-              "include_baseline")
+              "include_baseline", "compression")
 
 #: Tiny per-kind grids for the conformance battery: fast at scale="tiny",
 #: yet covering the uncompressed baseline, a codec point, and (for the
@@ -1089,7 +1124,8 @@ BUILTIN_KINDS = (
         load_record=_load("SerialPoint"),
         expand=_expand_serial,
         ops=("serial_point",),
-        spec_fields=("datasets", "codecs", "bounds", "cpus", "threads"),
+        spec_fields=("datasets", "codecs", "bounds", "cpus", "threads",
+                     "compression"),
         table=_table_serial,
         invariants=_invariants_serial,
         conformance=dict(datasets=("cesm",), codecs=("szx",),
@@ -1103,7 +1139,8 @@ BUILTIN_KINDS = (
         expand=_expand_thread,
         ops=("serial_point",),
         spec_fields=("datasets", "codecs", "threads", "rel_bound", "cpus",
-                     "paper_fidelity"),
+                     "paper_fidelity", "compression"),
+        validate=_validate_thread,
         table=_table_serial,
         invariants=_invariants_serial,
         conformance=dict(datasets=("cesm",), codecs=("szx",), threads=(1, 2),
@@ -1116,7 +1153,7 @@ BUILTIN_KINDS = (
         load_record=_load("RoundtripRecord"),
         expand=_expand_quality,
         ops=("roundtrip",),
-        spec_fields=("datasets", "codecs", "bounds"),
+        spec_fields=("datasets", "codecs", "bounds", "compression"),
         table=_table_quality,
         invariants=_invariants_roundtrip,
         conformance=dict(datasets=("cesm",), codecs=("szx",), bounds=(1e-3,)),
@@ -1128,7 +1165,8 @@ BUILTIN_KINDS = (
         load_record=_load("RoundtripRecord"),
         expand=_expand_lossless,
         ops=("roundtrip",),
-        spec_fields=("datasets", "codecs", "lossless_codecs", "rel_bound"),
+        spec_fields=("datasets", "codecs", "lossless_codecs", "rel_bound",
+                     "compression"),
         table=_table_quality,
         invariants=_invariants_roundtrip,
         conformance=dict(datasets=("cesm",), codecs=("sz2",),

@@ -123,6 +123,11 @@ class SweepSpec:
     n_nodes: int = 1
     seed: int = 0
     downtime_s: float = 60.0
+    #: compression-spec mini-language string (``"lossy,sz3,rel,1e-3"``,
+    #: ``"auto,rel,1e-3"``, ...; see :mod:`repro.dataset.spec`).  Empty means
+    #: the codec/bound axes are given directly; non-empty derives them from
+    #: the spec, narrowing the grid without changing point identities.
+    compression: str = ""
 
     def __post_init__(self):
         experiment = registry.get_kind(self.kind)  # unknown kind raises here
@@ -150,10 +155,47 @@ class SweepSpec:
             raise ConfigurationError("threads axis must not be empty")
         if self.n_chunks < 1:
             raise ConfigurationError("n_chunks must be >= 1")
+        if self.compression:
+            self._apply_compression()
         if experiment.validate is not None:
             # Kind-specific checks (e.g. the checkpoint scenario) run after
             # normalisation so they see the canonical field types.
             experiment.validate(self)
+
+    def _apply_compression(self):
+        """Normalise ``compression`` to canonical form and derive the
+        codec/bound axes from it for the builtin grid kinds.
+
+        The spec only ever *narrows or filters* the existing axes, so every
+        grid point a compression-driven sweep emits is one the hand-set
+        axes could already emit — content-addressed store keys stay stable.
+        The ``dataset`` kind (and any plugin naming ``compression`` in its
+        ``spec_fields`` but asking for no derivation) consumes the canonical
+        string directly, including per-variable maps.
+        """
+        # Imported lazily: repro.dataset sits above this layer.
+        from repro.dataset.spec import (
+            CompressionMap,
+            parse_compression,
+            sweep_axes_from_spec,
+        )
+
+        parsed = parse_compression(self.compression)
+        object.__setattr__(self, "compression", parsed.canonical)
+        if self.kind not in SWEEP_KINDS:
+            return  # plugin kinds interpret the canonical string themselves
+        if isinstance(parsed, CompressionMap):
+            raise ConfigurationError(
+                f"per-variable compression maps ({parsed.canonical!r}) only "
+                f"apply to the 'dataset' kind, not {self.kind!r}"
+            )
+        overrides = sweep_axes_from_spec(parsed, self.kind)
+        floor = overrides.pop("auto_floor", None)
+        if floor is not None:
+            kept = tuple(b for b in self.bounds if b <= floor)
+            overrides["bounds"] = kept or (floor,)
+        for field_name, value in overrides.items():
+            object.__setattr__(self, field_name, value)
 
     # -- expansion -----------------------------------------------------------
 
@@ -169,7 +211,12 @@ class SweepSpec:
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        if not payload["compression"]:
+            # Specs that never set a compression string serialise exactly as
+            # they did before the field existed (goldens pin those dicts).
+            del payload["compression"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepSpec":

@@ -66,3 +66,33 @@ class TestFidelityMode:
             datasets=("hacc",), codecs=("sz2", "qoz"), threads=(1,)
         )
         assert {p.codec for p in pts} == {"sz2", "qoz"}
+
+    def test_empty_fidelity_grid_names_every_reason(self):
+        """A sweep that fidelity filtering empties entirely is a config
+        error naming each capability reason, not a silent zero-point run."""
+        from repro.errors import ConfigurationError
+        from repro.runtime.spec import SweepSpec
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            SweepSpec(
+                kind="thread",
+                datasets=("hacc",),  # 1-D
+                codecs=("sz2", "qoz"),
+                threads=(1,),
+                paper_fidelity=True,
+            )
+        msg = str(excinfo.value)
+        assert unsupported_reason("sz2", 1, "openmp") in msg
+        assert unsupported_reason("qoz", 1, "openmp") in msg
+
+    def test_partial_fidelity_drop_stays_silent(self):
+        from repro.runtime.spec import SweepSpec
+
+        spec = SweepSpec(
+            kind="thread",
+            datasets=("hacc",),
+            codecs=("sz2", "sz3"),
+            threads=(1,),
+            paper_fidelity=True,
+        )
+        assert {p.as_kwargs()["codec"] for p in spec.points()} == {"sz3"}

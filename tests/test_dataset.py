@@ -1,0 +1,262 @@
+"""The dataset façade: containers, write/read round-trip, tuner, kind.
+
+The acceptance contract: a façade round-trip is bit-exact per variable
+against the chosen spec's own reconstruction, and the auto-tuner's pick
+meets each declared quality floor.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_compressor
+from repro.core.experiments import Testbed
+from repro.dataset import (
+    AutoTuner,
+    Dataset,
+    Variable,
+    parse_compression,
+    read,
+    write,
+)
+from repro.errors import ConfigurationError
+from repro.metrics.error import max_rel_error
+
+TESTBED = Testbed(scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def catalog_ds():
+    return Dataset.from_catalog(["cesm", "hacc"], scale="tiny")
+
+
+class TestContainers:
+    def test_from_catalog_carries_provenance(self, catalog_ds):
+        v = catalog_ds["cesm"]
+        assert v.source == "cesm" and v.scale == "tiny"
+        assert not v.data.flags.writeable
+
+    def test_from_arrays(self):
+        ds = Dataset.from_arrays({"a": np.ones(8), "b": np.zeros((2, 3))})
+        assert ds.names == ("a", "b")
+        assert "a" in ds and "nope" not in ds
+        with pytest.raises(KeyError):
+            ds["nope"]
+
+    def test_rejects_bad_names_and_dtypes(self):
+        with pytest.raises(ConfigurationError):
+            Variable(name="has space", data=np.ones(4))
+        with pytest.raises(ConfigurationError):
+            Variable(name="a:b", data=np.ones(4))
+        with pytest.raises(ConfigurationError):
+            Variable(name="ints", data=np.arange(4))
+        with pytest.raises(ConfigurationError):
+            Variable(name="empty", data=np.zeros(0))
+
+    def test_rejects_duplicates_and_empty(self):
+        v = Variable(name="x", data=np.ones(4))
+        with pytest.raises(ConfigurationError):
+            Dataset(variables=(v, v))
+        with pytest.raises(ConfigurationError):
+            Dataset(variables=())
+
+
+class TestWriteRead:
+    def test_roundtrip_bit_exact_per_variable(self, catalog_ds, tmp_path):
+        path = tmp_path / "out.h5"
+        report = write(
+            catalog_ds,
+            path,
+            compression="cesm:lossy,sz3,rel,1e-3;auto,rel,1e-2",
+            testbed=TESTBED,
+        )
+        back = read(path)
+        assert back.names == catalog_ds.names
+        for v in catalog_ds:
+            entry = report.tuning.for_variable(v.name)
+            buf = get_compressor(entry.codec).compress(v.data, entry.rel_bound)
+            recon = get_compressor(entry.codec).decompress(buf.data)
+            assert np.array_equal(back[v.name].data, recon)
+
+    def test_lossless_roundtrip_is_identity(self, catalog_ds, tmp_path):
+        path = tmp_path / "out.nc"
+        write(catalog_ds, path, compression="lossless,zstd",
+              io_library="netcdf", testbed=TESTBED)
+        back = read(path)
+        assert back.attrs["io_library"] == "netcdf"
+        for v in catalog_ds:
+            assert np.array_equal(back[v.name].data, v.data)
+
+    def test_chunked_roundtrip(self, catalog_ds, tmp_path):
+        path = tmp_path / "chunked.h5"
+        write(catalog_ds, path, compression="lossless,blosc", n_chunks=4,
+              testbed=TESTBED)
+        back = read(path)
+        for v in catalog_ds:
+            assert np.array_equal(back[v.name].data, v.data)
+
+    def test_read_sniffs_library(self, catalog_ds, tmp_path):
+        for lib in ("hdf5", "netcdf"):
+            path = tmp_path / f"sniff-{lib}"
+            write(catalog_ds, path, compression="lossless", io_library=lib,
+                  testbed=TESTBED)
+            assert read(path).attrs["io_library"] == lib
+
+    def test_stored_specs_are_concrete(self, catalog_ds, tmp_path):
+        # The container records what was *done*, never an unresolved auto.
+        path = tmp_path / "auto.h5"
+        write(catalog_ds, path, compression="auto,rel,1e-2", testbed=TESTBED)
+        back = read(path)
+        for name in back.names:
+            stored = parse_compression(back.attrs[f"spec/{name}"])
+            assert stored.mode in ("lossy", "lossless")
+
+    def test_unknown_codec_fails_before_writing(self, catalog_ds, tmp_path):
+        path = tmp_path / "never.h5"
+        with pytest.raises(ConfigurationError):
+            write(catalog_ds, path, compression="lossy,nope,rel,1e-3",
+                  testbed=TESTBED)
+        assert not path.exists()
+
+
+class TestAutoTuner:
+    def test_choice_meets_floor_and_is_cheapest(self, catalog_ds):
+        tuner = AutoTuner(testbed=TESTBED, codecs=("szx", "sz3"),
+                          bounds=(1e-3, 1e-2))
+        report = tuner.tune(catalog_ds, "auto,rel,1e-2")
+        assert report.all_meet_floor
+        for entry in report:
+            assert entry.tuned if hasattr(entry, "tuned") else True
+            assert entry.floor == 1e-2
+            assert entry.max_rel_err <= entry.floor
+            assert entry.candidates >= 1
+            # The winner is minimal: no examined candidate that also meets
+            # the floor is strictly cheaper.
+            for codec in ("szx", "sz3"):
+                for bound in (1e-3, 1e-2):
+                    rt = TESTBED.roundtrip(entry.variable, codec, bound)
+                    if rt.max_rel_err > entry.floor:
+                        continue
+                    io = TESTBED.io_point(entry.variable, codec, bound,
+                                          io_library="hdf5",
+                                          cpu_name="max9480")
+                    assert entry.cost_energy_j <= io.total_energy_j + 1e-9
+
+    def test_deterministic(self, catalog_ds):
+        tuner = AutoTuner(testbed=TESTBED, codecs=("szx", "sz3"),
+                          bounds=(1e-3, 1e-2))
+        a = tuner.tune(catalog_ds, "auto,rel,1e-2")
+        b = tuner.tune(catalog_ds, "auto,rel,1e-2")
+        assert a == b
+
+    def test_adhoc_variable_compresses_for_real(self):
+        data = np.cumsum(np.random.default_rng(3).standard_normal(4096))
+        ds = Dataset.from_arrays({"walk": data})
+        report = AutoTuner(testbed=TESTBED, codecs=("sz3", "szx"),
+                           bounds=(1e-2, 1e-3)).tune(ds, "auto,rel,1e-2")
+        entry = report.for_variable("walk")
+        assert entry.max_rel_err <= 1e-2
+        assert entry.ratio > 1.0
+
+    def test_constant_variable_tunes(self):
+        # Regression: zero value range used to make every lossy candidate
+        # look infinitely wrong; the constant fast path stores it exactly.
+        ds = Dataset.from_arrays({"flat": np.full((16, 16), 7.0)})
+        report = AutoTuner(testbed=TESTBED).tune(ds, "auto,rel,1e-3")
+        assert report.for_variable("flat").max_rel_err == 0.0
+
+    def test_infeasible_search_names_the_grid(self):
+        # The EBLC models are bound-respecting by construction, so the
+        # no-candidate path is reached when the search grid itself is empty.
+        noisy = np.random.default_rng(5).standard_normal(2048)
+        ds = Dataset.from_arrays({"noise": noisy})
+        tuner = AutoTuner(testbed=TESTBED, codecs=(), bounds=(1e-1,))
+        with pytest.raises(ConfigurationError, match="quality floor"):
+            tuner.tune(ds, "auto,rel,1e-3")
+
+
+class TestDatasetKind:
+    def test_registered_and_sweepable(self):
+        from repro.runtime import registry
+        from repro.runtime.spec import SweepSpec
+
+        kind = registry.get_kind("dataset")
+        spec = SweepSpec(kind="dataset", datasets=("cesm",),
+                         codecs=("szx", "sz3"), bounds=(1e-3, 1e-2),
+                         io_libraries=("hdf5",), cpus=("max9480",),
+                         compression="auto,rel,1e-2")
+        records = [
+            registry.evaluate_op(TESTBED, p.op, p.as_kwargs())
+            for p in spec.points()
+        ]
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.tuned and rec.candidates == 4
+        assert rec.max_rel_err <= 1e-2
+        assert kind.check_records(registry.to_wire(records)) == []
+
+    def test_explicit_spec_not_tuned(self):
+        from repro.runtime import registry
+        from repro.runtime.spec import SweepSpec
+
+        spec = SweepSpec(kind="dataset", datasets=("cesm",),
+                         io_libraries=("hdf5",), cpus=("max9480",),
+                         compression="lossy,sz3,rel,1e-3")
+        (point,) = spec.points()
+        rec = registry.evaluate_op(TESTBED, point.op, point.as_kwargs())
+        assert not rec.tuned and rec.candidates == 1
+        assert rec.codec == "sz3" and rec.rel_bound == 1e-3
+
+    def test_full_conformance_battery(self, tmp_path, capsys):
+        # The shared battery every kind earns by registering.
+        from test_conformance import assert_kind_conformance
+        from repro.runtime import registry
+
+        assert_kind_conformance(TESTBED, registry.get_kind("dataset"),
+                                tmp_path, capsys)
+
+    def test_cli_tune_json_passes_schema_gate(self, tmp_path, capsys):
+        import sys
+
+        from repro.cli import main
+        from repro.runtime import registry
+
+        rc = main([
+            "dataset", "tune", "--datasets", "cesm", "--codecs", "szx,sz3",
+            "--bounds", "1e-3,1e-2", "--scale", "tiny",
+            "--compression", "auto,rel,1e-2", "--json",
+        ])
+        assert rc == 0
+        records = json.loads(capsys.readouterr().out)
+        assert registry.get_kind("dataset").check_records(records) == []
+        import pathlib
+
+        tools = str(pathlib.Path(__file__).parents[1] / "tools")
+        sys.path.insert(0, tools)
+        try:
+            from check_record_schemas import check
+
+            path = tmp_path / "tune.json"
+            path.write_text(json.dumps(records))
+            assert check("dataset", path) == []
+        finally:
+            sys.path.remove(tools)
+
+    def test_cli_write_read_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli.h5"
+        assert main([
+            "dataset", "write", str(out), "--datasets", "cesm",
+            "--compression", "lossy,szx,rel,1e-3", "--scale", "tiny",
+        ]) == 0
+        assert out.exists()
+        capsys.readouterr()
+        dump = tmp_path / "dump"
+        assert main(["dataset", "read", str(out), "--out-dir", str(dump)]) == 0
+        assert (dump / "cesm.npy").exists()
+        recon = np.load(dump / "cesm.npy")
+        from repro.data.registry import generate
+
+        assert max_rel_error(generate("cesm", "tiny"), recon) <= 1e-3 + 1e-9

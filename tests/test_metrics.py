@@ -33,9 +33,25 @@ class TestErrorMetrics:
         assert max_rel_error(a, b) == pytest.approx(0.1)
 
     def test_constant_original(self):
+        # Zero value range: the denominator falls back to the variable's
+        # magnitude instead of reporting inf for any deviation.
         a = np.full(5, 3.0)
         assert max_rel_error(a, a) == 0.0
-        assert max_rel_error(a, a + 1.0) == float("inf")
+        assert max_rel_error(a, a + 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_all_zero_original_still_inf(self):
+        z = np.zeros(5)
+        assert max_rel_error(z, z) == 0.0
+        assert max_rel_error(z, z + 1.0) == float("inf")
+
+    def test_check_bound_constant_variable_magnitude_relative(self):
+        # A constant variable must not turn the relative bound into an
+        # exact-equality test: the bound is magnitude-relative there.
+        a = np.full(8, 100.0)
+        err = check_error_bound(a, a + 0.05, 1e-3)
+        assert err == pytest.approx(0.05)
+        with pytest.raises(ErrorBoundViolation):
+            check_error_bound(a, a + 0.5, 1e-3)
 
     def test_check_passes_within_bound(self):
         a = np.linspace(0, 1, 100)

@@ -29,6 +29,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 def check(kind_name: str, path) -> list[str]:
     """All schema/invariant violations in ``path`` (empty list = valid)."""
+    import repro.dataset  # noqa: F401  (registers the `dataset` plugin kind)
     from repro.errors import ConfigurationError
     from repro.runtime import registry
 
