@@ -24,6 +24,7 @@ import sys
 
 import numpy as np
 
+import repro.cluster.kind  # noqa: F401  (registers the `cluster` experiment kind)
 import repro.dataset  # noqa: F401  (registers the `dataset` experiment kind)
 from repro import __version__
 from repro.compressors import available_compressors, get_compressor
@@ -280,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="timing repeats per kernel (best-of)"
     )
     p.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if any kernel runs more than PCT%% slower than "
+        "the previous run at equal input size",
+    )
+    p.add_argument(
         "--json",
         action="store_true",
         help="also print the result document as JSON on stdout",
@@ -338,6 +347,41 @@ def build_parser() -> argparse.ArgumentParser:
         t.add_argument(flag, **kw)
     t.add_argument("--json", action="store_true",
                    help="emit the records as a JSON array instead of a table")
+
+    p = sub.add_parser(
+        "cluster",
+        help="multi-tenant cluster scenarios (shared-PFS write contention)",
+        description="Simulate a declarative multi-tenant scenario — "
+        "FIFO+backfill scheduling, per-tenant checkpoint lifecycles, and "
+        "one cluster-wide fair-share PFS solve — or search every "
+        "per-tenant compression mix for the machine-wide energy optimum.",
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+    cluster_common = (
+        ("--scenario", dict(
+            required=True,
+            help="scenario string, e.g. 'nodes=8; a=ranks:96,codec:szx; "
+            "b=ranks:96,codec:none' (grammar: docs/user-guide/cluster.md)")),
+        ("--dataset", dict(
+            default="nyx",
+            help="catalogue dataset every tenant writes (Fig. 12 payload)")),
+        ("--cpu", dict(default="plat8160")),
+        ("--io", dict(default="hdf5", choices=("hdf5", "netcdf"))),
+        ("--scale", dict(
+            default="test", choices=("tiny", "test", "bench"),
+            help="synthetic data scale for the compression measurements")),
+    )
+    cr = csub.add_parser("run", help="simulate one scenario end to end")
+    for flag, kw in cluster_common:
+        cr.add_argument(flag, **kw)
+    cr.add_argument("--json", action="store_true",
+                    help="emit the ClusterResult records as a JSON array")
+    ca = csub.add_parser(
+        "advise",
+        help="search per-tenant compression mixes for the energy optimum",
+    )
+    for flag, kw in cluster_common:
+        ca.add_argument(flag, **kw)
 
     sub.add_parser("datasets", help="list the dataset catalogue (Table II)")
     sub.add_parser("cpus", help="list the CPU catalogue (Table I)")
@@ -650,17 +694,30 @@ def _cmd_sweep(args) -> int:
 def _cmd_bench(args) -> int:
     import json as _json
 
+    from repro.errors import BenchmarkRegression
     from repro.runtime.benchmark import run_and_report
 
     datasets = (
         tuple(d for d in args.datasets.split(",") if d) if args.datasets else None
     )
-    doc = run_and_report(
-        args.output,
-        datasets=datasets,
-        quick=args.quick,
-        repeats=args.repeats,
-    )
+    try:
+        doc = run_and_report(
+            args.output,
+            datasets=datasets,
+            quick=args.quick,
+            repeats=args.repeats,
+            max_regression_pct=args.max_regression,
+        )
+    except BenchmarkRegression as exc:
+        print(f"BENCH REGRESSION: {exc}")
+        for d in exc.offenders:
+            print(
+                f"  {d['kernel']}/{d['dataset']}: "
+                f"{d['old_seconds_per_call']:.4f}s -> "
+                f"{d['new_seconds_per_call']:.4f}s "
+                f"({1 / d['speedup']:.2f}x slower)"
+            )
+        return 1
     if args.json:
         print(_json.dumps(doc, indent=2))
     return 0
@@ -783,6 +840,98 @@ def _cmd_dataset(args) -> int:
     }[args.dataset_command](args)
 
 
+def _tenant_table(result) -> str:
+    """Per-tenant schedule/write/energy detail of one ClusterResult."""
+    rows = [
+        [
+            t.name,
+            str(t.ranks),
+            str(t.nodes),
+            t.codec or "none",
+            f"{t.submit_s:g}",
+            f"{t.start_s:.2f}",
+            "yes" if t.backfilled else "-",
+            f"{t.pre_s:.1f}",
+            f"{t.write_time_s:.2f}",
+            f"{t.stretch:.2f}",
+            str(t.n_failures),
+            f"{t.total_energy_j:.1f}",
+        ]
+        for t in result.tenants
+    ]
+    return format_table(
+        ["job", "ranks", "nodes", "codec", "submit", "start", "bf",
+         "pre [s]", "write [s]", "stretch", "fails", "E [J]"],
+        rows,
+        title=f"tenants of '{result.scenario}' "
+        f"(makespan {result.makespan_s:.2f} s, "
+        f"{result.iterations} fixed-point pass(es))",
+    )
+
+
+def _cmd_cluster_run(args) -> int:
+    import json as _json
+
+    from repro.core.experiments import Testbed
+    from repro.runtime.engine import SweepEngine
+    from repro.runtime.spec import SweepSpec
+    from repro.runtime.store import ResultStore
+
+    spec = SweepSpec(
+        kind="cluster",
+        datasets=_csv_arg(args.dataset),
+        cpus=(args.cpu,),
+        io_libraries=(args.io,),
+        scenario=args.scenario,
+    )
+    engine = SweepEngine(
+        testbed=Testbed(scale=args.scale), store=ResultStore(), executor="serial"
+    )
+    records = engine.run(spec)
+    if args.json:
+        print(_json.dumps(registry.to_wire(records), indent=2))
+        return 0
+    print(_sweep_table(records, kind_name="cluster"))
+    for record in records:
+        print(_tenant_table(record))
+    return 0
+
+
+def _cmd_cluster_advise(args) -> int:
+    from repro.core.advisor import ClusterAdvisor
+    from repro.core.experiments import Testbed
+
+    advisor = ClusterAdvisor(
+        Testbed(scale=args.scale), cpu_name=args.cpu, io_library=args.io
+    )
+    advice = advisor.advise(args.dataset, args.scenario)
+    print(advice.rationale)
+    rows = [
+        [
+            "+".join(codec or "none" for _, codec in mix),
+            f"{res.makespan_s:.2f}",
+            f"{res.max_stretch:.2f}",
+            f"{res.total_energy_j:.1f}",
+        ]
+        for mix, res in advice.mixes
+    ]
+    print(
+        format_table(
+            ["mix", "makespan [s]", "stretch", "E [J]"],
+            rows,
+            title="per-tenant compression mixes, cheapest machine-wide first",
+        )
+    )
+    return 0 if advice.compress else 1
+
+
+def _cmd_cluster(args) -> int:
+    return {
+        "run": _cmd_cluster_run,
+        "advise": _cmd_cluster_advise,
+    }[args.cluster_command](args)
+
+
 def _cmd_datasets(args) -> int:
     from repro.data.registry import DATASETS
 
@@ -828,6 +977,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "advise": _cmd_advise,
     "dataset": _cmd_dataset,
+    "cluster": _cmd_cluster,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "datasets": _cmd_datasets,

@@ -15,6 +15,21 @@ from repro.cluster.campaign import (
     CheckpointCampaignResult,
     MultiNodeCampaign,
 )
+from repro.cluster.scheduler import (
+    ClusterSpec,
+    ClusterTimeline,
+    JobOutcome,
+    JobSpec,
+    compression_mixes,
+    format_scenario,
+    parse_scenario,
+    scenario_matrix,
+    simulate_cluster,
+)
+
+# repro.cluster.kind (the `cluster` experiment kind) is deliberately NOT
+# imported here: like repro.dataset.kind it registers on import, and the
+# CLI / conftest / tools import it explicitly as a plugin.
 
 __all__ = [
     "EventLoop",
@@ -24,4 +39,13 @@ __all__ = [
     "CampaignResult",
     "CheckpointCampaignResult",
     "MultiNodeCampaign",
+    "JobSpec",
+    "ClusterSpec",
+    "JobOutcome",
+    "ClusterTimeline",
+    "parse_scenario",
+    "format_scenario",
+    "scenario_matrix",
+    "compression_mixes",
+    "simulate_cluster",
 ]

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.node import NodeModel
+from repro.cluster import costs
 from repro.energy.cpus import CPUSpec
 from repro.energy.throughput import ThroughputModel
 from repro.errors import ConfigurationError
@@ -144,27 +144,9 @@ class MultiNodeCampaign:
         full_nodes, rem = divmod(total_cores, rpn)
         return full_nodes + (1 if rem else 0), rpn, rem
 
-    @staticmethod
-    def _accumulate_nodes(nodes, rpn, rem, node_energy) -> tuple[float, float]:
-        """Sum (compress J, write J) over the topology.
-
-        ``node_energy(ranks)`` measures one node carrying ``ranks`` ranks.
-        Full nodes are identical, so one is measured and scaled — the paper
-        sums PAPI over all nodes; the partial last node (if any) carries
-        fewer ranks/flows and is accounted separately.
-        """
-        full_nodes = nodes - (1 if rem else 0)
-        compress_j = 0.0
-        write_j = 0.0
-        if full_nodes:
-            c, w = node_energy(rpn)
-            compress_j += c * full_nodes
-            write_j += w * full_nodes
-        if rem:
-            c, w = node_energy(rem)
-            compress_j += c
-            write_j += w
-        return compress_j, write_j
+    # Shared with the cluster scheduler: one topology accumulator for all
+    # campaign variants (see repro.cluster.costs).
+    _accumulate_nodes = staticmethod(costs.accumulate_nodes)
 
     def _compress_and_bytes(
         self,
@@ -190,6 +172,29 @@ class MultiNodeCampaign:
         )
         return t_comp, max(1, int(round(self.payload_nbytes / compression_ratio)))
 
+    def write_prelude(
+        self,
+        codec: str | None,
+        rel_bound: float = 1e-3,
+        compression_ratio: float = 1.0,
+        freq_ghz: float | None = None,
+    ) -> tuple[float, float, int]:
+        """(compress s, serialize s, bytes per rank) before a write enters the PFS.
+
+        The per-rank CPU-side cost of one output dump: compression time at
+        the measured ratio, serialization of the compressed bytes, and the
+        size of the flow each rank will push through the fair-share model.
+        The cluster scheduler prices every tenant's write through this exact
+        method so contended scenarios share the campaign cost model.
+        """
+        if freq_ghz is not None:
+            freq_ghz = self.cpu.validate_freq(freq_ghz)
+        t_comp, out_bytes = self._compress_and_bytes(
+            codec, rel_bound, compression_ratio, freq_ghz
+        )
+        t_serialize = self.io.cost.serialize_seconds(out_bytes, self.cpu.speed)
+        return t_comp, t_serialize, out_bytes
+
     def run(
         self,
         total_cores: int,
@@ -213,12 +218,11 @@ class MultiNodeCampaign:
         if freq_ghz is not None:
             freq_ghz = self.cpu.validate_freq(freq_ghz)
 
-        t_comp, out_bytes = self._compress_and_bytes(
+        # Compression + serialization are CPU work on every rank before the
+        # transfer (the shared per-job prelude).
+        t_comp, t_serialize, out_bytes = self.write_prelude(
             codec, rel_bound, compression_ratio, freq_ghz
         )
-
-        # Serialization is CPU work on every rank before the transfer.
-        t_serialize = cost.serialize_seconds(out_bytes, self.cpu.speed)
 
         # All ranks start their transfer together after compress+serialize.
         t0 = t_comp + t_serialize
@@ -234,28 +238,19 @@ class MultiNodeCampaign:
             """(compress J, write J) of one node carrying ``ranks`` ranks."""
             # Full nodes own the first flows, the partial node the last ones.
             finishes = finish[:ranks] if ranks == rpn else finish[n_ranks - ranks :]
-            node = NodeModel(
-                self.cpu, sample_interval=self.sample_interval, freq_ghz=freq_ghz
-            )
-            if t_comp > 0:
-                node.add_phase(t_comp, ranks, 1.0, "compress")
-            if t_serialize > 0:
-                node.add_phase(t_serialize, ranks, 1.0, "write")
-            # Stepped drain: the node's flows all finish at the same time
-            # under fair sharing, but guard for heterogeneous profiles anyway.
-            prev = t0
-            for k, tf in enumerate(np.sort(finishes)):
-                seg = float(tf) - prev
-                if seg > 1e-9:
-                    node.add_phase(seg, ranks - k, cost.transfer_activity, "write")
-                    prev = float(tf)
-            energy = node.measure()
-            return (
-                energy.by_label.get("compress", 0.0),
-                energy.by_label.get("write", 0.0),
+            return costs.stepped_node_energy(
+                self.cpu,
+                ranks=ranks,
+                t_comp=t_comp,
+                t_serialize=t_serialize,
+                t0=t0,
+                finishes=finishes,
+                transfer_activity=cost.transfer_activity,
+                sample_interval=self.sample_interval,
+                freq_ghz=freq_ghz,
             )
 
-        compress_j, write_j = self._accumulate_nodes(nodes, rpn, rem, node_energy)
+        compress_j, write_j = costs.accumulate_nodes(nodes, rpn, rem, node_energy)
 
         return CampaignResult(
             codec=codec,
@@ -295,7 +290,7 @@ class MultiNodeCampaign:
         serialize+transfer load can cost slightly more power than the
         stepped sequential drain.
         """
-        from repro.energy.measurement import EnergyMeter, Interval, Phase, compose_phases
+        from repro.energy.measurement import EnergyMeter, Interval
         from repro.iolib.pipeline import stage_intervals, stage_schedule
 
         nodes, rpn, rem = self._topology(total_cores)
@@ -362,15 +357,11 @@ class MultiNodeCampaign:
             intervals.append(
                 Interval(drain_end, makespan, ranks, cost.transfer_activity, "write")
             )
-            phases = compose_phases(intervals, max_cores=self.cpu.cores)
-            total = meter.measure(phases).energy_j
-            if t_comp > 0:
-                compress = meter.measure([Phase(t_comp, ranks, 1.0, "compress")]).energy_j
-            else:
-                compress = 0.0
-            return compress, max(0.0, total - compress)
+            return costs.composed_node_energy(
+                meter, intervals, max_cores=self.cpu.cores, t_comp=t_comp, ranks=ranks
+            )
 
-        compress_j, write_j = self._accumulate_nodes(nodes, rpn, rem, node_energy)
+        compress_j, write_j = costs.accumulate_nodes(nodes, rpn, rem, node_energy)
 
         return CampaignResult(
             codec=codec,
@@ -426,16 +417,18 @@ class MultiNodeCampaign:
             )
 
         def node_energy(ranks: int) -> tuple[float, float]:
-            node = NodeModel(
-                self.cpu, sample_interval=self.sample_interval, freq_ghz=freq_ghz
+            restart_j = costs.restart_node_energy(
+                self.cpu,
+                ranks=ranks,
+                fetch_s=fetch_s,
+                decomp_s=decomp_s,
+                transfer_activity=cost.transfer_activity,
+                sample_interval=self.sample_interval,
+                freq_ghz=freq_ghz,
             )
-            node.add_phase(fetch_s, ranks, cost.transfer_activity, "restart")
-            if decomp_s > 0:
-                node.add_phase(decomp_s, ranks, 1.0, "restart")
-            energy = node.measure()
-            return (energy.by_label.get("restart", 0.0), 0.0)
+            return (restart_j, 0.0)
 
-        restart_j, _ = self._accumulate_nodes(nodes, rpn, rem, node_energy)
+        restart_j, _ = costs.accumulate_nodes(nodes, rpn, rem, node_energy)
         return fetch_s + decomp_s, restart_j
 
     def run_checkpointed(

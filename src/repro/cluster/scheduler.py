@@ -1,0 +1,754 @@
+"""Multi-tenant cluster simulation: FIFO+backfill scheduling over a shared PFS.
+
+The campaign layer prices one job on a dedicated allocation; this module
+scales it to a machine: a declarative :class:`ClusterSpec` describes the
+cluster (node count) and its tenant :class:`JobSpec` s (the model is
+proto2testbed's ``testbed.json`` — one declarative document drives the whole
+experiment topology), a FIFO + EASY-backfill scheduler runs as a generator
+process on the deterministic :class:`~repro.cluster.events.EventLoop`, and
+every tenant's output dump enters **one** cluster-wide
+:func:`~repro.iolib.pfs.fair_share_schedule` solve, so concurrent writers
+contend for the same OST aggregate the paper's Fig. 12 saturates.
+
+Each job's life: wait in the queue for its node allocation, compute (with a
+per-tenant checkpoint/failure lifecycle from
+:mod:`repro.workloads.lifecycle` when an MTTF is configured), compress and
+serialize the output on every rank (priced by the shared campaign cost
+kernel, :meth:`~repro.cluster.campaign.MultiNodeCampaign.write_prelude`),
+then push one flow per rank into the shared PFS and hold the nodes until
+the fair-share drain completes.
+
+Because job start times depend on write durations (nodes free when drains
+end) while write durations depend on which jobs overlap (the global
+fair-share solve), the simulation runs a fixed-point iteration: write
+durations seed from dedicated-run estimates, each pass replays the full
+event-loop schedule and re-solves the global PFS model with the observed
+arrival times, and the loop stops when the schedule reproduces itself —
+for a single tenant that happens immediately and the numbers collapse
+bit-identically to :meth:`MultiNodeCampaign.run` (the golden test pins it).
+
+Scenario matrices are generated SimBricks-style — nested loops over the
+axes you want crossed (:func:`scenario_matrix`, :func:`compression_mixes`)
+— and serialised to/from a compact scenario string (the grammar is
+documented in ``docs/user-guide/cluster.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cluster import costs
+from repro.cluster.campaign import MultiNodeCampaign
+from repro.cluster.events import EventLoop
+from repro.energy.measurement import Interval
+from repro.errors import ConfigurationError, SimulationError
+from repro.workloads.checkpoint import CheckpointSpec, resolve_interval
+from repro.workloads.failures import FailureModel
+from repro.workloads.lifecycle import LifecycleStats, run_lifecycle
+
+__all__ = [
+    "JobSpec",
+    "ClusterSpec",
+    "JobOutcome",
+    "ClusterTimeline",
+    "parse_scenario",
+    "format_scenario",
+    "scenario_matrix",
+    "compression_mixes",
+    "simulate_cluster",
+]
+
+#: Fixed-point iteration cap; real scenarios settle in a handful of passes.
+MAX_FIXED_POINT_ITERATIONS = 32
+
+_NAME_FORBIDDEN = set(";,=: \t")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant job: allocation size, compression choice, and lifecycle.
+
+    ``ranks`` is the total core count (the campaign's ``total_cores``);
+    node demand follows from the machine's cores-per-node at simulation
+    time.  ``work_s > 0`` adds a compute phase before the output dump;
+    a finite ``mttf_s`` (per node of this job's allocation) runs that
+    phase as a checkpoint/failure lifecycle with the given interval
+    policy, downtime, and failure seed.
+    """
+
+    name: str
+    ranks: int
+    codec: str | None = None
+    rel_bound: float = 1e-3
+    submit_s: float = 0.0
+    work_s: float = 0.0
+    mttf_s: float = math.inf
+    interval: str | float = "daly"
+    downtime_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.name or _NAME_FORBIDDEN & set(self.name):
+            raise ConfigurationError(
+                f"job name {self.name!r} must be non-empty and free of "
+                "';,=:' and whitespace (it keys the scenario grammar)"
+            )
+        object.__setattr__(self, "ranks", int(self.ranks))
+        if self.ranks < 1:
+            raise ConfigurationError(
+                f"job {self.name!r} requests {self.ranks} ranks: a job needs "
+                "at least one rank (zero-node jobs are rejected)"
+            )
+        object.__setattr__(self, "rel_bound", float(self.rel_bound))
+        object.__setattr__(self, "submit_s", float(self.submit_s))
+        object.__setattr__(self, "work_s", float(self.work_s))
+        object.__setattr__(self, "mttf_s", float(self.mttf_s))
+        object.__setattr__(self, "downtime_s", float(self.downtime_s))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.codec is not None and not self.codec:
+            object.__setattr__(self, "codec", None)
+        if self.rel_bound <= 0:
+            raise ConfigurationError(f"job {self.name!r}: rel_bound must be positive")
+        if self.submit_s < 0:
+            raise ConfigurationError(f"job {self.name!r}: submit_s must be >= 0")
+        if self.work_s < 0:
+            raise ConfigurationError(f"job {self.name!r}: work_s must be >= 0")
+        if not self.mttf_s > 0:
+            raise ConfigurationError(f"job {self.name!r}: mttf_s must be positive")
+        if self.downtime_s < 0:
+            raise ConfigurationError(f"job {self.name!r}: downtime_s must be >= 0")
+        if not isinstance(self.interval, str):
+            object.__setattr__(self, "interval", float(self.interval))
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A machine (node count) plus the tenant jobs submitted to it."""
+
+    n_nodes: int
+    jobs: tuple[JobSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "n_nodes", int(self.n_nodes))
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.n_nodes < 1:
+            raise ConfigurationError("cluster needs at least one node")
+        if not self.jobs:
+            raise ConfigurationError("cluster scenario needs at least one job")
+        names = [j.name for j in self.jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate job names in scenario: {dupes}")
+
+
+# -- scenario string grammar --------------------------------------------------
+#
+#   scenario := clause (";" clause)*
+#   clause   := "nodes=" INT | NAME "=" attr ("," attr)*
+#   attr     := KEY ":" VALUE
+#
+# Job attribute keys: ranks (required), codec, bound, submit, work, mttf,
+# interval, downtime, seed.  `codec:none` (or omitting it) is the
+# uncompressed baseline.  Attribute values equal to their defaults are
+# dropped by `format_scenario`, so the canonical string — which becomes part
+# of the content-addressed store key — is minimal and stable.
+
+_JOB_KEYS = frozenset(
+    ("ranks", "codec", "bound", "submit", "work", "mttf", "interval", "downtime", "seed")
+)
+
+
+def _g(value: float) -> str:
+    return format(float(value), "g")
+
+
+def parse_scenario(text: str) -> ClusterSpec:
+    """Parse a scenario string into a :class:`ClusterSpec` (strictly)."""
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigurationError(
+            "empty cluster scenario: expected e.g. "
+            "'nodes=4; a=ranks:96,codec:szx; b=ranks:96,codec:none'"
+        )
+    n_nodes: int | None = None
+    jobs: list[JobSpec] = []
+    for clause in (c.strip() for c in text.split(";")):
+        if not clause:
+            continue
+        key, sep, rest = clause.partition("=")
+        key, rest = key.strip(), rest.strip()
+        if not sep or not key or not rest:
+            raise ConfigurationError(f"malformed scenario clause {clause!r}")
+        if key == "nodes":
+            if n_nodes is not None:
+                raise ConfigurationError("duplicate 'nodes=' clause in scenario")
+            try:
+                n_nodes = int(rest)
+            except ValueError:
+                raise ConfigurationError(f"bad node count {rest!r}") from None
+            continue
+        attrs: dict[str, str] = {}
+        for part in rest.split(","):
+            akey, asep, aval = part.partition(":")
+            akey, aval = akey.strip(), aval.strip()
+            if not asep or not akey or not aval:
+                raise ConfigurationError(
+                    f"malformed attribute {part!r} in job clause {clause!r}"
+                )
+            if akey not in _JOB_KEYS:
+                raise ConfigurationError(
+                    f"unknown job attribute {akey!r} in {clause!r}; "
+                    f"known: {sorted(_JOB_KEYS)}"
+                )
+            if akey in attrs:
+                raise ConfigurationError(f"duplicate attribute {akey!r} in {clause!r}")
+            attrs[akey] = aval
+        if "ranks" not in attrs:
+            raise ConfigurationError(f"job clause {clause!r} needs 'ranks:N'")
+        codec = attrs.get("codec", "none")
+        interval: str | float = attrs.get("interval", "daly")
+        if not isinstance(interval, float):
+            try:
+                interval = float(interval)
+            except ValueError:
+                pass  # a policy name ("daly"/"young")
+        try:
+            job = JobSpec(
+                name=key,
+                ranks=int(attrs["ranks"]),
+                codec=None if codec.lower() in ("none", "-") else codec,
+                rel_bound=float(attrs.get("bound", 1e-3)),
+                submit_s=float(attrs.get("submit", 0.0)),
+                work_s=float(attrs.get("work", 0.0)),
+                mttf_s=float(attrs.get("mttf", "inf")),
+                interval=interval,
+                downtime_s=float(attrs.get("downtime", 60.0)),
+                seed=int(attrs.get("seed", 0)),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"bad value in job clause {clause!r}: {exc}") from None
+        jobs.append(job)
+    if n_nodes is None:
+        raise ConfigurationError("scenario needs a 'nodes=N' clause")
+    if not jobs:
+        raise ConfigurationError("scenario needs at least one job clause")
+    return ClusterSpec(n_nodes=n_nodes, jobs=tuple(jobs))
+
+
+def format_scenario(spec: ClusterSpec) -> str:
+    """The canonical scenario string of ``spec`` (inverse of parsing).
+
+    Defaults are omitted and attributes emitted in a fixed order, so any
+    two strings describing the same scenario canonicalise identically —
+    the canonical form is what keys the content-addressed result store.
+    """
+    clauses = [f"nodes={spec.n_nodes}"]
+    for j in spec.jobs:
+        attrs = [f"ranks:{j.ranks}", f"codec:{j.codec if j.codec else 'none'}"]
+        if j.codec is not None and j.rel_bound != 1e-3:
+            attrs.append(f"bound:{_g(j.rel_bound)}")
+        if j.submit_s != 0.0:
+            attrs.append(f"submit:{_g(j.submit_s)}")
+        if j.work_s != 0.0:
+            attrs.append(f"work:{_g(j.work_s)}")
+        if not math.isinf(j.mttf_s):
+            attrs.append(f"mttf:{_g(j.mttf_s)}")
+        if j.interval != "daly":
+            iv = j.interval if isinstance(j.interval, str) else _g(j.interval)
+            attrs.append(f"interval:{iv}")
+        if j.downtime_s != 60.0:
+            attrs.append(f"downtime:{_g(j.downtime_s)}")
+        if j.seed != 0:
+            attrs.append(f"seed:{j.seed}")
+        clauses.append(f"{j.name}={','.join(attrs)}")
+    return "; ".join(clauses)
+
+
+def scenario_matrix(
+    nodes=(8,),
+    n_jobs=(2,),
+    ranks=(96,),
+    codecs=("szx",),
+    rel_bounds=(1e-3,),
+    submit_stagger_s=(0.0,),
+) -> list[ClusterSpec]:
+    """The cross product of homogeneous scenarios, SimBricks-style.
+
+    Every combination of the axes yields one :class:`ClusterSpec` whose
+    ``n_jobs`` identical tenants (named ``j0, j1, ...``) submit at
+    ``i * stagger`` seconds.  ``codec=None``/``"none"`` is the
+    uncompressed baseline.
+    """
+    out: list[ClusterSpec] = []
+    for nn, nj, rk, codec, eps, stag in itertools.product(
+        nodes, n_jobs, ranks, codecs, rel_bounds, submit_stagger_s
+    ):
+        jobs = tuple(
+            JobSpec(
+                name=f"j{i}",
+                ranks=rk,
+                codec=None if codec in (None, "none") else codec,
+                rel_bound=eps,
+                submit_s=i * stag,
+            )
+            for i in range(nj)
+        )
+        out.append(ClusterSpec(n_nodes=nn, jobs=jobs))
+    return out
+
+
+def compression_mixes(
+    spec: ClusterSpec,
+    choices: dict[str, tuple] | None = None,
+) -> list[ClusterSpec]:
+    """Every per-tenant compression assignment of ``spec``.
+
+    ``choices`` maps job name → the codecs to try for that job (``None`` =
+    uncompressed); by default each job is tried with its configured codec
+    and uncompressed.  The cross product over all jobs is the mix space the
+    :class:`~repro.core.advisor.ClusterAdvisor` searches.
+    """
+    per_job = []
+    for j in spec.jobs:
+        opts = (choices or {}).get(j.name)
+        if opts is None:
+            opts = tuple(dict.fromkeys((j.codec, None)))
+        per_job.append(tuple(opts))
+    out = []
+    for assignment in itertools.product(*per_job):
+        jobs = tuple(
+            replace(j, codec=c) for j, c in zip(spec.jobs, assignment)
+        )
+        out.append(replace(spec, jobs=jobs))
+    return out
+
+
+# -- simulation ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Everything one tenant did: schedule, lifecycle, write, and energy."""
+
+    spec: JobSpec
+    nodes: int
+    ranks_per_node: int
+    rem: int
+    submit_s: float
+    start_s: float
+    backfilled: bool
+    pre_s: float  # compute/lifecycle makespan before the output dump
+    lifecycle: LifecycleStats | None
+    t_comp: float
+    t_serialize: float
+    out_bytes: int
+    t0: float  # absolute time this job's flows entered the PFS
+    finish_s: float  # absolute end of the write (incl. open/commit latency)
+    write_time_s: float  # serialize + drain, the campaign convention
+    dedicated_write_time_s: float  # same write alone on the machine
+    compress_energy_j: float
+    write_energy_j: float
+    lifecycle_energy_j: float
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.submit_s
+
+    @property
+    def stretch(self) -> float:
+        """Contended write time over the dedicated write time (>= 1)."""
+        if self.dedicated_write_time_s <= 0:
+            return 1.0
+        return self.write_time_s / self.dedicated_write_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compress_energy_j + self.write_energy_j + self.lifecycle_energy_j
+
+
+@dataclass(frozen=True)
+class ClusterTimeline:
+    """One converged cluster simulation."""
+
+    spec: ClusterSpec
+    jobs: tuple[JobOutcome, ...]
+    makespan_s: float
+    iterations: int  # fixed-point passes until the schedule reproduced itself
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(j.total_energy_j for j in self.jobs)
+
+
+@dataclass
+class _JobState:
+    """Per-job quantities that stay fixed across fixed-point iterations."""
+
+    spec: JobSpec
+    nodes: int
+    rpn: int
+    rem: int
+    t_comp: float
+    t_serialize: float
+    out_bytes: int
+    cpu_s: float  # t_comp + t_serialize, one event-loop delay
+    pre_s: float
+    lifecycle: LifecycleStats | None
+    dedicated_drain_s: float  # write drain alone on the machine (est. seed)
+    est_s: float  # walltime estimate used for backfill reservations
+
+
+def _prepare_jobs(
+    spec: ClusterSpec,
+    campaign: MultiNodeCampaign,
+    ratios: dict[str, float],
+) -> list[_JobState]:
+    """Price every job's schedule-independent quantities once."""
+    states: list[_JobState] = []
+    for job in spec.jobs:
+        nodes, rpn, rem = campaign._topology(job.ranks)
+        if nodes > spec.n_nodes:
+            raise ConfigurationError(
+                f"job {job.name!r} needs {nodes} nodes for {job.ranks} ranks "
+                f"({campaign.cpu.cores} cores/node) but the cluster has only "
+                f"{spec.n_nodes}: over-subscribed scenarios cannot be scheduled"
+            )
+        ratio = float(ratios.get(job.name, 1.0)) if job.codec is not None else 1.0
+        t_comp, t_serialize, out_bytes = campaign.write_prelude(
+            job.codec, job.rel_bound, ratio
+        )
+        cpu_s = t_comp + t_serialize
+
+        # Dedicated write drain: this job's flows alone on the PFS, arriving
+        # at the same relative time they would in the schedule.  Seeds the
+        # fixed point and prices the backfill walltime estimate.
+        solo = campaign.pfs.concurrent_write_times(
+            np.full(job.ranks, out_bytes, dtype=np.float64),
+            efficiency=campaign.io.cost.bandwidth_efficiency,
+            arrivals=np.full(job.ranks, cpu_s),
+        )
+        solo = solo + campaign.io.cost.open_latency_s
+        dedicated_drain = float(solo.max()) - cpu_s
+
+        lifecycle = None
+        pre_s = job.work_s
+        if job.work_s > 0 and not math.isinf(job.mttf_s):
+            # The tenant's compute phase is a checkpoint/failure lifecycle:
+            # defensive checkpoints priced at the *dedicated* write cost
+            # (they do not enter the shared-PFS solve — only the final
+            # output dump contends globally), restarts at the campaign's
+            # restart cost, failures drawn from the job's own seeded
+            # timeline.  Run on its own event loop (time local to the job),
+            # so the history is identical whether the job starts at t=0 or
+            # deep in the queue — which also keeps the fixed point stable.
+            ckpt_s = cpu_s + dedicated_drain
+            restart_s, _restart_j = campaign._restart_cost(
+                job.codec, job.rel_bound, out_bytes, job.ranks,
+                nodes, rpn, rem, None,
+            )
+            system_mttf = job.mttf_s / nodes
+            tau = resolve_interval(job.interval, ckpt_s, system_mttf, restart_s)
+            cspec = CheckpointSpec(
+                work_s=job.work_s,
+                interval_s=tau,
+                ckpt_s=ckpt_s,
+                restart_s=restart_s,
+                mttf_s=system_mttf,
+                downtime_s=job.downtime_s,
+            )
+            timeline = FailureModel(job.mttf_s, nodes).timeline(job.seed)
+            lifecycle = run_lifecycle(
+                cspec,
+                timeline,
+                ckpt_activity=campaign.io.cost.transfer_activity,
+                restart_activity=campaign.io.cost.transfer_activity,
+            )
+            pre_s = lifecycle.makespan_s
+
+        states.append(
+            _JobState(
+                spec=job,
+                nodes=nodes,
+                rpn=rpn,
+                rem=rem,
+                t_comp=t_comp,
+                t_serialize=t_serialize,
+                out_bytes=out_bytes,
+                cpu_s=cpu_s,
+                pre_s=pre_s,
+                lifecycle=lifecycle,
+                dedicated_drain_s=dedicated_drain,
+                est_s=pre_s + cpu_s + dedicated_drain,
+            )
+        )
+    return states
+
+
+def _run_schedule(
+    cluster: ClusterSpec,
+    states: list[_JobState],
+    drains: dict[str, float],
+) -> tuple[dict[str, float], dict[str, float], dict[str, bool]]:
+    """One deterministic pass of the FIFO + EASY-backfill schedule.
+
+    ``drains`` carries each job's write-drain duration for this pass (from
+    the previous global PFS solve).  Returns per-job start times, the
+    absolute PFS arrival times the event loop actually produced, and the
+    backfill flags.  Node-release times use this pass's drains; backfill
+    *reservations* use the fixed dedicated-run walltime estimates
+    (``est_s``) — like user-provided walltimes on a real machine, they may
+    be overrun under contention.
+    """
+    loop = EventLoop()
+    by_name = {st.spec.name: st for st in states}
+    alloc = {name: st.nodes for name, st in by_name.items()}
+    state = {"free": cluster.n_nodes, "wake": None, "granted": 0}
+    queue: list[str] = []  # job names, FIFO by arrival
+    starts: dict[str, float] = {}
+    arrivals: dict[str, float] = {}
+    backfilled: dict[str, bool] = {}
+    grants = {st.spec.name: loop.event(f"grant:{st.spec.name}") for st in states}
+
+    def notify():
+        ev = state["wake"]
+        if ev is not None:
+            state["wake"] = None
+            ev.fire()
+
+    def grant(name: str, backfill: bool):
+        state["free"] -= alloc[name]
+        state["granted"] += 1
+        backfilled[name] = backfill
+        # Reservation bookkeeping sees the fixed walltime estimate.
+        running[name] = loop.now + by_name[name].est_s
+        grants[name].fire()
+
+    running: dict[str, float] = {}  # name -> estimated end, for reservations
+
+    def try_schedule():
+        progress = True
+        while progress:
+            progress = False
+            while queue and alloc[queue[0]] <= state["free"]:
+                grant(queue.pop(0), backfill=False)
+                progress = True
+            if not queue:
+                return
+            head = queue[0]
+            # EASY reservation: find the shadow time when the head fits,
+            # accumulating releases in estimated-end order.
+            avail = state["free"]
+            shadow = None
+            extra = 0
+            for end, name in sorted((running[n], n) for n in running):
+                avail += alloc[name]
+                if avail >= alloc[head]:
+                    shadow = end
+                    extra = avail - alloc[head]
+                    break
+            if shadow is None:
+                return  # nothing running frees enough (cannot happen: validated)
+            for cand in queue[1:]:
+                fits_now = alloc[cand] <= state["free"]
+                harmless = (
+                    loop.now + by_name[cand].est_s <= shadow + 1e-9
+                    or alloc[cand] <= extra
+                )
+                if fits_now and harmless:
+                    queue.remove(cand)
+                    grant(cand, backfill=True)
+                    progress = True
+                    break  # re-derive the reservation with the new state
+
+    def submitter(st: _JobState):
+        if st.spec.submit_s > 0:
+            yield st.spec.submit_s
+        queue.append(st.spec.name)
+        notify()
+
+    def job_proc(st: _JobState):
+        name = st.spec.name
+        yield grants[name]
+        starts[name] = loop.now
+        if st.pre_s > 0:
+            yield st.pre_s
+        if st.cpu_s > 0:
+            yield st.cpu_s
+        arrivals[name] = loop.now  # the flows enter the PFS here
+        drain = drains[name]
+        if drain > 0:
+            yield drain
+        state["free"] += alloc[name]
+        running.pop(name, None)
+        notify()
+
+    def sched_proc():
+        while state["granted"] < len(states):
+            try_schedule()
+            if state["granted"] >= len(states):
+                break
+            ev = loop.event("sched:wake")
+            state["wake"] = ev
+            yield ev
+
+    for st in states:
+        loop.spawn(submitter(st), name=f"submit:{st.spec.name}")
+        loop.spawn(job_proc(st), name=f"job:{st.spec.name}")
+    loop.spawn(sched_proc(), name="scheduler")
+    loop.run()
+    if len(starts) != len(states):  # pragma: no cover - defensive
+        raise SimulationError("cluster schedule did not grant every job")
+    return starts, arrivals, backfilled
+
+
+def simulate_cluster(
+    spec: ClusterSpec,
+    campaign: MultiNodeCampaign,
+    ratios: dict[str, float] | None = None,
+) -> ClusterTimeline:
+    """Run ``spec`` on ``campaign``'s machine model to a converged timeline.
+
+    ``ratios`` maps job name → measured compression ratio of that job's
+    codec on its dataset (the experiment drivers feed the real value);
+    uncompressed jobs ignore it.  All tenants share the campaign's CPU,
+    I/O library, payload, and PFS — one machine, many jobs.
+    """
+    states = _prepare_jobs(spec, campaign, ratios or {})
+    eff = campaign.io.cost.bandwidth_efficiency
+    open_latency = campaign.io.cost.open_latency_s
+    names = [st.spec.name for st in states]
+
+    drains = {st.spec.name: st.dedicated_drain_s for st in states}
+    prev_starts: dict[str, float] | None = None
+    finish_slices: dict[str, np.ndarray] = {}
+    starts: dict[str, float] = {}
+    arrivals: dict[str, float] = {}
+    backfilled: dict[str, bool] = {}
+
+    for iteration in range(1, MAX_FIXED_POINT_ITERATIONS + 1):
+        starts, arrivals, backfilled = _run_schedule(spec, states, drains)
+        # One cluster-wide fair-share solve: every tenant's rank flows,
+        # staggered by when the schedule actually released them.
+        sizes = np.concatenate(
+            [
+                np.full(st.spec.ranks, st.out_bytes, dtype=np.float64)
+                for st in states
+            ]
+        )
+        arrive = np.concatenate(
+            [np.full(st.spec.ranks, arrivals[st.spec.name]) for st in states]
+        )
+        finish = campaign.pfs.concurrent_write_times(
+            sizes, efficiency=eff, arrivals=arrive
+        )
+        finish = finish + open_latency
+        offset = 0
+        new_drains: dict[str, float] = {}
+        for st in states:
+            sl = finish[offset : offset + st.spec.ranks]
+            finish_slices[st.spec.name] = sl
+            new_drains[st.spec.name] = float(sl.max()) - arrivals[st.spec.name]
+            offset += st.spec.ranks
+        drains = new_drains
+        if prev_starts is not None and all(
+            starts[n] == prev_starts[n] for n in names
+        ):
+            break
+        prev_starts = starts
+    else:
+        raise SimulationError(
+            f"cluster schedule did not reach a fixed point in "
+            f"{MAX_FIXED_POINT_ITERATIONS} iterations"
+        )
+
+    outcomes = []
+    for st in states:
+        name = st.spec.name
+        t0 = arrivals[name]
+        finishes = finish_slices[name]
+        cost = campaign.io.cost
+
+        def node_energy(ranks: int, st=st, t0=t0, finishes=finishes):
+            picked = (
+                finishes[:ranks]
+                if ranks == st.rpn
+                else finishes[st.spec.ranks - ranks :]
+            )
+            return costs.stepped_node_energy(
+                campaign.cpu,
+                ranks=ranks,
+                t_comp=st.t_comp,
+                t_serialize=st.t_serialize,
+                t0=t0,
+                finishes=picked,
+                transfer_activity=cost.transfer_activity,
+                sample_interval=campaign.sample_interval,
+            )
+
+        compress_j, write_j = costs.accumulate_nodes(
+            st.nodes, st.rpn, st.rem, node_energy
+        )
+
+        lifecycle_j = 0.0
+        if st.pre_s > 0:
+            intervals = (
+                st.lifecycle.intervals
+                if st.lifecycle is not None
+                else (Interval(0.0, st.pre_s, 1, 1.0, "compute"),)
+            )
+
+            def pre_energy(ranks: int, intervals=intervals):
+                # The lifecycle timeline is bulk-synchronous across the
+                # allocation: every node plays the same phases with its own
+                # rank count (down windows stay zero-core idle).
+                phases = [
+                    (
+                        iv.end_s - iv.start_s,
+                        ranks if iv.active_cores > 0 else 0,
+                        iv.activity,
+                        iv.label,
+                    )
+                    for iv in intervals
+                ]
+                by_label = costs.measure_node_phases(
+                    campaign.cpu, phases, sample_interval=campaign.sample_interval
+                )
+                return (sum(by_label.values()), 0.0)
+
+            lifecycle_j, _ = costs.accumulate_nodes(
+                st.nodes, st.rpn, st.rem, pre_energy
+            )
+
+        outcomes.append(
+            JobOutcome(
+                spec=st.spec,
+                nodes=st.nodes,
+                ranks_per_node=st.rpn,
+                rem=st.rem,
+                submit_s=st.spec.submit_s,
+                start_s=starts[name],
+                backfilled=backfilled[name],
+                pre_s=st.pre_s,
+                lifecycle=st.lifecycle,
+                t_comp=st.t_comp,
+                t_serialize=st.t_serialize,
+                out_bytes=st.out_bytes,
+                t0=t0,
+                finish_s=float(finishes.max()),
+                write_time_s=st.t_serialize + (float(finishes.max()) - t0),
+                dedicated_write_time_s=st.t_serialize + st.dedicated_drain_s,
+                compress_energy_j=compress_j,
+                write_energy_j=write_j,
+                lifecycle_energy_j=lifecycle_j,
+            )
+        )
+
+    return ClusterTimeline(
+        spec=spec,
+        jobs=tuple(outcomes),
+        makespan_s=max(o.finish_s for o in outcomes),
+        iterations=iteration,
+    )

@@ -18,6 +18,13 @@ Two layers answer the title question at different fidelities:
   checkpoint cost, shifts the Young/Daly-optimal interval, and changes the
   expected wasted work — so the compress-or-not verdict can *flip* relative
   to the single-write analysis.  It emits a :class:`CheckpointAdvice`.
+- :class:`ClusterAdvisor` lifts it to machine scale: concurrent tenants
+  share one PFS, so each tenant's write time depends on what *everyone
+  else* writes.  It sweeps every per-tenant compression mix of a scenario
+  through the ``cluster`` kind and answers: does everyone compressing
+  reduce global contention and machine-wide energy, which mix wins, and
+  does contention flip the dedicated-machine verdict?  It emits a
+  :class:`ClusterAdvice`.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ __all__ = [
     "DvfsAdvisor",
     "CheckpointAdvice",
     "DalyAdvisor",
+    "ClusterAdvice",
+    "ClusterAdvisor",
     "pareto_frontier",
 ]
 
@@ -408,6 +417,171 @@ class DalyAdvisor:
             flip_margin_j=flip_margin,
             chosen=chosen,
             candidates=tuple(feasible),
+            rationale=rationale,
+        )
+
+
+# -- the multi-tenant cluster advisor -----------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterAdvice:
+    """The cluster advisor's verdict for one multi-tenant scenario.
+
+    ``best_mix`` maps job name → codec (``None`` = uncompressed) for the
+    machine-wide energy-optimal assignment; ``mixes`` carries every
+    evaluated (assignment, :class:`~repro.cluster.kind.ClusterResult`)
+    pair.  ``flips`` is True when shared-PFS contention reverses the
+    everyone-compress verdict a dedicated machine would give — the paper's
+    Eq. 4 inequality evaluated per tenant in isolation versus the same
+    tenants contending for one aggregate.
+    """
+
+    dataset: str
+    cpu: str
+    io_library: str
+    scenario: str  # canonical base scenario
+    n_jobs: int
+    compress: bool  # the winning mix uses at least one codec
+    best_mix: tuple  # ((job name, codec | None), ...) in scenario order
+    best_energy_j: float
+    best_makespan_s: float
+    all_energy_j: float  # everyone at their configured codec
+    none_energy_j: float  # everyone uncompressed
+    all_makespan_s: float
+    none_makespan_s: float
+    everyone_compress_saves: bool  # all-compress beats all-uncompressed
+    dedicated_compress_saves: bool  # same comparison, tenants in isolation
+    dedicated_all_energy_j: float
+    dedicated_none_energy_j: float
+    flips: bool  # contention reverses the dedicated verdict
+    flip_margin_j: float  # contended all-vs-none gap (positive: compress wins)
+    mixes: tuple  # ((mix assignment, ClusterResult), ...), cheapest first
+    rationale: str
+
+
+class ClusterAdvisor:
+    """Search every per-tenant compression mix of a shared-PFS scenario.
+
+    Built on the ``cluster`` experiment kind, so every evaluated mix is a
+    content-addressed, memoized grid point — re-advising a scenario after
+    one mix changes only recomputes the new assignments.
+    """
+
+    def __init__(self, testbed=None, cpu_name: str = "plat8160", io_library: str = "hdf5"):
+        if testbed is None:
+            from repro.core.experiments import Testbed
+
+            testbed = Testbed()
+        self.testbed = testbed
+        self.cpu_name = cpu_name
+        self.io_library = io_library
+
+    def _evaluate(self, dataset: str, scenario_text: str):
+        return self.testbed.engine.evaluate(
+            "cluster_point",
+            dataset=dataset,
+            scenario=scenario_text,
+            io_library=self.io_library,
+            cpu_name=self.cpu_name,
+        )
+
+    def advise(self, dataset: str, scenario: str) -> ClusterAdvice:
+        """Emit a :class:`ClusterAdvice` for one scenario on one machine.
+
+        ``scenario`` is a cluster scenario string whose per-job codecs mark
+        each tenant's *candidate* compression (jobs with ``codec:none``
+        stay uncompressed in every mix).
+        """
+        from dataclasses import replace
+
+        import repro.cluster.kind  # noqa: F401  (registers `cluster_point`)
+        from repro.cluster.scheduler import (
+            ClusterSpec,
+            compression_mixes,
+            format_scenario,
+            parse_scenario,
+        )
+
+        base = parse_scenario(scenario)
+        canonical = format_scenario(base)
+        evaluated = []
+        for mix_spec in compression_mixes(base):
+            result = self._evaluate(dataset, format_scenario(mix_spec))
+            assignment = tuple((j.name, j.codec) for j in mix_spec.jobs)
+            evaluated.append((assignment, result))
+        evaluated.sort(key=lambda pair: (pair[1].total_energy_j, pair[1].makespan_s))
+
+        all_assignment = tuple((j.name, j.codec) for j in base.jobs)
+        none_assignment = tuple((j.name, None) for j in base.jobs)
+        by_assignment = dict(evaluated)
+        all_res = by_assignment[all_assignment]
+        none_res = by_assignment[none_assignment]
+        best_mix, best = evaluated[0]
+
+        # The dedicated-machine comparison: each tenant alone on the same
+        # cluster (submit time zeroed — alone, the queue is empty anyway),
+        # summed over tenants.  Contention is the only thing that differs.
+        def dedicated_total(jobs) -> float:
+            total = 0.0
+            for job in jobs:
+                solo = ClusterSpec(
+                    n_nodes=base.n_nodes, jobs=(replace(job, submit_s=0.0),)
+                )
+                total += self._evaluate(dataset, format_scenario(solo)).total_energy_j
+            return total
+
+        dedicated_all = dedicated_total(base.jobs)
+        dedicated_none = dedicated_total(replace(j, codec=None) for j in base.jobs)
+
+        everyone_saves = all_res.total_energy_j < none_res.total_energy_j
+        dedicated_saves = dedicated_all < dedicated_none
+        flips = everyone_saves != dedicated_saves
+        flip_margin = none_res.total_energy_j - all_res.total_energy_j
+
+        mix_text = ", ".join(f"{n}:{c or 'none'}" for n, c in best_mix)
+        if flips:
+            flip_note = (
+                "shared-PFS contention FLIPS the dedicated-machine verdict "
+                f"({'compress' if everyone_saves else 'do not compress'} "
+                f"contended, "
+                f"{'compress' if dedicated_saves else 'do not compress'} "
+                f"dedicated)"
+            )
+        else:
+            flip_note = "the dedicated-machine verdict carries over"
+        rationale = (
+            f"{dataset} on {self.cpu_name} via {self.io_library}, scenario "
+            f"'{canonical}': everyone compressing "
+            f"{'saves' if everyone_saves else 'costs'} "
+            f"{abs(flip_margin):.0f} J machine-wide versus everyone "
+            f"uncompressed (makespan {all_res.makespan_s:.2f} s vs "
+            f"{none_res.makespan_s:.2f} s, max write stretch "
+            f"{all_res.max_stretch:.2f}x vs {none_res.max_stretch:.2f}x); "
+            f"the energy-optimal mix is [{mix_text}] at "
+            f"{best.total_energy_j:.0f} J; {flip_note}."
+        )
+        return ClusterAdvice(
+            dataset=dataset,
+            cpu=self.cpu_name,
+            io_library=self.io_library,
+            scenario=canonical,
+            n_jobs=len(base.jobs),
+            compress=any(codec is not None for _, codec in best_mix),
+            best_mix=best_mix,
+            best_energy_j=best.total_energy_j,
+            best_makespan_s=best.makespan_s,
+            all_energy_j=all_res.total_energy_j,
+            none_energy_j=none_res.total_energy_j,
+            all_makespan_s=all_res.makespan_s,
+            none_makespan_s=none_res.makespan_s,
+            everyone_compress_saves=everyone_saves,
+            dedicated_compress_saves=dedicated_saves,
+            dedicated_all_energy_j=dedicated_all,
+            dedicated_none_energy_j=dedicated_none,
+            flips=flips,
+            flip_margin_j=flip_margin,
+            mixes=tuple(evaluated),
             rationale=rationale,
         )
 

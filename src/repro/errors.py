@@ -48,3 +48,21 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or model was configured with invalid parameters."""
+
+
+class BenchmarkRegression(ReproError):
+    """A kernel benchmark ran slower than the allowed regression budget.
+
+    Carries the offending delta records (kernel, dataset, old/new seconds,
+    speedup) so CI logs show exactly which kernels regressed and by how much.
+    """
+
+    def __init__(self, max_regression_pct: float, offenders: list[dict]):
+        self.max_regression_pct = float(max_regression_pct)
+        self.offenders = list(offenders)
+        worst = min(offenders, key=lambda d: d["speedup"])
+        super().__init__(
+            f"{len(offenders)} kernel(s) regressed more than "
+            f"{max_regression_pct:g}% (worst: {worst['kernel']}/{worst['dataset']} "
+            f"at {1 / worst['speedup']:.2f}x slower)"
+        )

@@ -41,6 +41,7 @@ __all__ = [
     "SYNTHETIC_DATASET",
     "KernelInputs",
     "KernelSpec",
+    "check_regressions",
     "compare_docs",
     "format_report",
     "kernel_inputs",
@@ -355,17 +356,39 @@ def format_report(doc: dict, deltas: list[dict] | None = None) -> str:
     return format_table(headers, rows, title=title)
 
 
+def check_regressions(deltas: list[dict], max_regression_pct: float) -> None:
+    """Raise :class:`BenchmarkRegression` if any kernel slowed past the budget.
+
+    A delta regresses when its speedup falls below ``1 / (1 + pct/100)`` —
+    i.e. the new run takes more than ``pct`` percent longer per call than the
+    previous run at equal ``n_symbols``.  Deltas already exclude mismatched
+    input sizes (see :func:`compare_docs`), so a ``--quick`` run is only ever
+    gated against another quick run.
+    """
+    from repro.errors import BenchmarkRegression
+
+    threshold = 1.0 / (1.0 + max_regression_pct / 100.0)
+    offenders = [d for d in deltas if d["speedup"] < threshold]
+    if offenders:
+        raise BenchmarkRegression(max_regression_pct, offenders)
+
+
 def run_and_report(
     output: str = DEFAULT_OUTPUT,
     *,
     datasets: Iterable[str] | None = None,
     quick: bool = False,
     repeats: int = 3,
+    max_regression_pct: float | None = None,
     emit: Callable[[str], None] = print,
 ) -> dict:
     """The round-trip the CLI drives: load previous → run → compare → write.
 
     Returns the new document (with the history trail already folded in).
+    With ``max_regression_pct`` set, raises :class:`BenchmarkRegression`
+    after the document is written (the run is recorded either way — CI gets
+    both the failure and the artifact) if any comparable kernel slowed down
+    by more than that percentage.
     """
     import os
 
@@ -385,4 +408,6 @@ def run_and_report(
             f"({len(doc.get('history', []))} runs in history trail)"
         )
     emit(f"wrote {output}")
+    if max_regression_pct is not None:
+        check_regressions(deltas, max_regression_pct)
     return load_doc(output)

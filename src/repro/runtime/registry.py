@@ -148,6 +148,10 @@ SWEEP_AXES: tuple[CliAxis, ...] = (
             "compression-spec string, e.g. 'lossy,sz3,rel,1e-3' or "
             "'auto,rel,1e-3'; derives/narrows the codec and bound axes "
             "(see docs/user-guide/datasets.md)"),
+    CliAxis("scenario", "--scenario", "str", "",
+            "cluster kind: scenario string, e.g. "
+            "'nodes=8; a=ranks:96,codec:szx; b=ranks:96,codec:none' "
+            "(see docs/user-guide/cluster.md)"),
 )
 
 #: The spec fields a kind may legally claim.
@@ -468,6 +472,18 @@ def _field_schema(tp) -> dict:
         if nonfinite:
             out["x-nonfinite"] = True
         return out
+    if origin in (tuple, list):
+        args = typing.get_args(tp)
+        if origin is tuple and len(args) == 2 and args[1] is Ellipsis:
+            item = args[0]
+        elif origin is list and len(args) == 1:
+            item = args[0]
+        else:
+            raise ConfigurationError(
+                f"cannot derive a JSON schema for field type {tp!r}: only "
+                "homogeneous sequences (tuple[X, ...] / list[X]) are supported"
+            )
+        return {"type": "array", "items": _field_schema(item)}
     if dataclasses.is_dataclass(tp):
         return record_schema(tp)
     if tp is type(None):
@@ -514,6 +530,13 @@ def _check_value(value, schema: dict, where: str, errors: list) -> None:
         return
     if "properties" in schema:
         _check_object(value, schema, where, errors)
+        return
+    if "items" in schema:
+        if not isinstance(value, list):
+            errors.append(f"{where}: wrong type {type(value).__name__}")
+            return
+        for i, item in enumerate(value):
+            _check_value(item, schema["items"], f"{where}[{i}]", errors)
         return
     types = schema["type"] if isinstance(schema["type"], list) else [schema["type"]]
     for t in types:
@@ -566,6 +589,23 @@ def check_records(kind: ExperimentKind, records) -> list:
     return errors
 
 
+def check_record_payloads(record_cls: type, records) -> list:
+    """Schema violations in JSON ``records`` of one record dataclass.
+
+    The schema-only counterpart of :func:`check_records` for records
+    registered through :func:`register_record` without owning a kind
+    (campaign results, nested plugin payloads) — so
+    ``tools/check_record_schemas.py`` can validate their JSON too.
+    """
+    if not isinstance(records, list) or not records:
+        return ["expected a non-empty JSON array of records"]
+    errors: list[str] = []
+    schema = record_schema(record_cls)
+    for i, rec in enumerate(records):
+        _check_object(rec, schema, f"record[{i}]", errors)
+    return errors
+
+
 def to_wire(records) -> list:
     """Records as ``repro sweep --json`` emits them (strict RFC 8259).
 
@@ -581,6 +621,8 @@ def to_wire(records) -> list:
             return repr(value)
         if isinstance(value, dict):
             return {k: finite(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [finite(v) for v in value]
         return value
 
     return [finite(encode_record(r)) for r in records]

@@ -128,6 +128,10 @@ class SweepSpec:
     #: the codec/bound axes are given directly; non-empty derives them from
     #: the spec, narrowing the grid without changing point identities.
     compression: str = ""
+    #: cluster-kind scenario string (machine size + tenant jobs; see
+    #: :mod:`repro.cluster.scheduler` and docs/user-guide/cluster.md).
+    #: Normalised to canonical form by the cluster kind's validator.
+    scenario: str = ""
 
     def __post_init__(self):
         experiment = registry.get_kind(self.kind)  # unknown kind raises here
@@ -149,6 +153,7 @@ class SweepSpec:
         object.__setattr__(self, "n_nodes", int(self.n_nodes))
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "downtime_s", float(self.downtime_s))
+        object.__setattr__(self, "scenario", str(self.scenario))
         if not isinstance(self.interval, str):
             object.__setattr__(self, "interval", float(self.interval))
         if not self.threads:
@@ -216,6 +221,9 @@ class SweepSpec:
             # Specs that never set a compression string serialise exactly as
             # they did before the field existed (goldens pin those dicts).
             del payload["compression"]
+        if not payload["scenario"]:
+            # Same treatment for the cluster scenario string.
+            del payload["scenario"]
         return payload
 
     @classmethod

@@ -155,6 +155,13 @@ def encode_record(record) -> dict:
         value = getattr(record, f.name)
         if dataclasses.is_dataclass(value):
             value = encode_record(value)
+        elif isinstance(value, (list, tuple)):
+            # Sequences of nested records (ClusterResult.tenants) encode
+            # element-wise; scalar sequences pass through as JSON arrays.
+            value = [
+                encode_record(v) if dataclasses.is_dataclass(v) else v
+                for v in value
+            ]
         payload[f.name] = value
     return payload
 
@@ -171,6 +178,16 @@ def decode_record(payload: dict):
             continue
         if isinstance(value, dict) and "__record__" in value:
             value = decode_record(value)
+        elif isinstance(value, list):
+            # JSON arrays come back as lists; records store sequences as
+            # tuples (frozen dataclasses), so coerce while decoding any
+            # nested record payloads.
+            value = tuple(
+                decode_record(v)
+                if isinstance(v, dict) and "__record__" in v
+                else v
+                for v in value
+            )
         kwargs[key] = value
     return types[name](**kwargs)
 

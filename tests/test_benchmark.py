@@ -8,10 +8,12 @@ import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.errors import BenchmarkRegression
 from repro.runtime.benchmark import (
     KERNELS,
     SCHEMA_VERSION,
     SYNTHETIC_DATASET,
+    check_regressions,
     compare_docs,
     format_report,
     kernel_inputs,
@@ -161,3 +163,58 @@ class TestBenchCLI:
         start = text.index("{")
         doc = json.loads(text[start:])
         validate_doc(doc)
+
+
+class TestRegressionGate:
+    def _slow_down_previous(self, path, factor):
+        doc = json.loads(path.read_text())
+        for rec in doc["results"]:
+            rec["seconds_per_call"] /= factor  # previous run looks faster
+        path.write_text(json.dumps(doc))
+
+    def test_check_regressions_thresholds(self):
+        deltas = [
+            {"kernel": "k", "dataset": "d", "speedup": 0.9,
+             "old_seconds_per_call": 1.0, "new_seconds_per_call": 1.11},
+            {"kernel": "k2", "dataset": "d", "speedup": 1.2,
+             "old_seconds_per_call": 1.0, "new_seconds_per_call": 0.83},
+        ]
+        check_regressions(deltas, 20.0)  # 0.9 >= 1/1.2: inside the budget
+        with pytest.raises(BenchmarkRegression) as excinfo:
+            check_regressions(deltas, 5.0)
+        exc = excinfo.value
+        assert exc.max_regression_pct == 5.0
+        assert [d["kernel"] for d in exc.offenders] == ["k"]
+        assert "k/d" in str(exc)
+
+    def test_run_and_report_raises_after_writing(self, tmp_path):
+        out = tmp_path / "B.json"
+        run_and_report(str(out), emit=lambda _: None, **QUICK)
+        self._slow_down_previous(out, 100.0)
+        with pytest.raises(BenchmarkRegression):
+            run_and_report(
+                str(out), emit=lambda _: None, max_regression_pct=20.0, **QUICK
+            )
+        # The regressed run is still recorded for the artifact trail.
+        doc = load_doc(str(out))
+        assert len(doc["history"]) == 1
+
+    def test_no_previous_run_never_regresses(self, tmp_path):
+        out = tmp_path / "B.json"
+        doc = run_and_report(
+            str(out), emit=lambda _: None, max_regression_pct=0.001, **QUICK
+        )
+        validate_doc(doc)
+
+    def test_cli_max_regression_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "B.json"
+        argv = [
+            "bench", "kernels", "--quick",
+            "--output", str(out), "--datasets", SYNTHETIC_DATASET,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        self._slow_down_previous(out, 100.0)
+        assert main(argv + ["--max-regression", "20"]) == 1
+        text = capsys.readouterr().out
+        assert "BENCH REGRESSION" in text and "slower" in text

@@ -238,3 +238,94 @@ class TestDevices:
     def test_unknown(self):
         with pytest.raises(KeyError):
             get_device("tape")
+
+
+# -- property battery: the vectorized fair-share solver -----------------------
+#
+# Hypothesis drives the solver with adversarial staggered multi-tenant
+# arrival patterns.  Two invariants are the contract the cluster scheduler
+# leans on: (1) byte conservation — an independent piecewise replay of the
+# max-min fluid model moves exactly each flow's bytes by its reported
+# finish; (2) completion-order invariance — with equal sizes, a flow that
+# arrives earlier never finishes later, and identical (arrival, size)
+# twins finish at the same instant.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def _fair_share_cases(draw):
+    n = draw(st.integers(1, 10))
+    arrivals = np.array(
+        [
+            draw(st.floats(0.0, 60.0, allow_nan=False, allow_infinity=False))
+            for _ in range(n)
+        ]
+    )
+    sizes_mb = np.array(
+        [
+            draw(
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(0.1, 2000.0, allow_nan=False, allow_infinity=False),
+                )
+            )
+            for _ in range(n)
+        ]
+    )
+    per_flow = draw(st.floats(50.0, 1500.0, allow_nan=False))
+    aggregate = draw(st.floats(100.0, 6000.0, allow_nan=False))
+    return arrivals, sizes_mb, per_flow, aggregate
+
+
+def _replay_transferred(arrivals, sizes_mb, finishes, per_flow, aggregate):
+    """Independent piecewise integration of the max-min fluid model.
+
+    Walks the solver's own breakpoints (arrivals and completions) and, in
+    each interval, credits every in-flight flow ``min(per_flow,
+    aggregate / n_active)`` MB/s — the textbook rate, computed without any
+    of the solver's internal bookkeeping.
+    """
+    events = np.unique(np.concatenate([arrivals, finishes]))
+    moved = np.zeros_like(sizes_mb)
+    for t0, t1 in zip(events[:-1], events[1:]):
+        mid = 0.5 * (t0 + t1)
+        active = (arrivals <= mid) & (finishes > mid) & (sizes_mb > 0)
+        n_active = int(active.sum())
+        if n_active:
+            rate = min(per_flow, aggregate / n_active)
+            moved[active] += rate * (t1 - t0)
+    return moved
+
+
+class TestFairShareProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(_fair_share_cases())
+    def test_bytes_conserved_under_staggered_arrivals(self, case):
+        arrivals, sizes_mb, per_flow, aggregate = case
+        finish = fair_share_schedule(arrivals, sizes_mb * 1e6, per_flow, aggregate)
+        assert np.all(finish >= arrivals - 1e-9)
+        moved = _replay_transferred(arrivals, sizes_mb, finish, per_flow, aggregate)
+        np.testing.assert_allclose(moved, sizes_mb, rtol=1e-6, atol=1e-6)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_fair_share_cases())
+    def test_equal_sizes_finish_in_arrival_order(self, case):
+        arrivals, _, per_flow, aggregate = case
+        sizes = np.full(arrivals.size, 500e6)
+        finish = fair_share_schedule(arrivals, sizes, per_flow, aggregate)
+        order = np.argsort(arrivals, kind="stable")
+        assert np.all(np.diff(finish[order]) >= -1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_fair_share_cases(), st.integers(0, 9))
+    def test_identical_twins_finish_together(self, case, pick):
+        arrivals, sizes_mb, per_flow, aggregate = case
+        i = pick % arrivals.size
+        twin_arrivals = np.append(arrivals, arrivals[i])
+        twin_sizes = np.append(sizes_mb, sizes_mb[i])
+        finish = fair_share_schedule(
+            twin_arrivals, twin_sizes * 1e6, per_flow, aggregate
+        )
+        assert finish[i] == pytest.approx(finish[-1], rel=1e-12, abs=1e-12)

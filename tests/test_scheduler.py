@@ -1,0 +1,504 @@
+"""Multi-tenant cluster scheduler: golden identity, contention, backfill.
+
+The acceptance spine of the scheduler layer: a single-tenant scenario must
+reproduce :meth:`MultiNodeCampaign.run` bit-identically, contended tenants
+must see strictly longer writes than dedicated ones, the EASY-backfill
+schedule must be deterministic, and the registry plumbing (store keys,
+nested-record round-trips, schema gates) must hold for the cluster kind.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    JobSpec,
+    MultiNodeCampaign,
+    compression_mixes,
+    format_scenario,
+    parse_scenario,
+    scenario_matrix,
+    simulate_cluster,
+)
+from repro.energy import get_cpu
+from repro.errors import ConfigurationError
+from repro.iolib import PFSModel, get_io_library
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return MultiNodeCampaign(
+        cpu=get_cpu("plat8160"),
+        pfs=PFSModel(),
+        io_library=get_io_library("hdf5"),
+        payload_nbytes=90 * 10**6,
+        complexity=0.48,
+    )
+
+
+class TestScenarioGrammar:
+    def test_roundtrip(self):
+        text = (
+            "nodes=8; a=ranks:96,codec:szx; "
+            "b=ranks:48,codec:sz3,bound:0.01,submit:5,work:600,mttf:86400"
+        )
+        spec = parse_scenario(text)
+        assert spec.n_nodes == 8
+        a, b = spec.jobs
+        assert (a.name, a.ranks, a.codec) == ("a", 96, "szx")
+        assert (b.codec, b.rel_bound, b.submit_s) == ("sz3", 0.01, 5.0)
+        assert (b.work_s, b.mttf_s) == (600.0, 86400.0)
+        assert parse_scenario(format_scenario(spec)) == spec
+
+    def test_canonical_form_is_spelling_invariant(self):
+        # Reordered attributes and explicit defaults canonicalise to one
+        # string — the store-key identity of the scenario.
+        variants = (
+            "nodes=4; a=ranks:8,codec:szx; b=ranks:8,codec:none",
+            "nodes=4; a=codec:szx,ranks:8; b=ranks:8,codec:none",
+            "nodes=4; a=ranks:8,codec:szx,bound:1e-3,submit:0; b=ranks:8",
+            "nodes=4 ;  a = ranks:8 , codec:szx ; b=ranks:8,codec:-",
+        )
+        canon = {format_scenario(parse_scenario(v)) for v in variants}
+        assert len(canon) == 1
+
+    def test_clause_order_is_semantic(self):
+        # Job order breaks FIFO submit ties, so swapping clauses is a
+        # different scenario and must not canonicalise together.
+        ab = format_scenario(parse_scenario("nodes=4; a=ranks:8; b=ranks:8"))
+        ba = format_scenario(parse_scenario("nodes=4; b=ranks:8; a=ranks:8"))
+        assert ab != ba
+
+    def test_format_is_idempotent(self):
+        text = "nodes=4; a=ranks:8,codec:szx,bound:0.01; b=ranks:16,submit:3"
+        canon = format_scenario(parse_scenario(text))
+        assert format_scenario(parse_scenario(canon)) == canon
+
+    def test_numeric_interval_roundtrips(self):
+        spec = parse_scenario(
+            "nodes=2; a=ranks:8,work:600,mttf:3600,interval:120,seed:7"
+        )
+        assert spec.jobs[0].interval == 120.0
+        assert spec.jobs[0].seed == 7
+        assert parse_scenario(format_scenario(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "a=ranks:8",  # no nodes clause
+            "nodes=4",  # no jobs
+            "nodes=4; nodes=8; a=ranks:8",  # duplicate nodes
+            "nodes=x; a=ranks:8",  # bad node count
+            "nodes=4; a=ranks:8,ranks:16",  # duplicate attribute
+            "nodes=4; a=ranks:8,color:blue",  # unknown attribute
+            "nodes=4; a=codec:szx",  # missing ranks
+            "nodes=4; a=ranks:eight",  # bad value
+            "nodes=4; a=ranks",  # malformed attribute
+            "nodes=4; a=ranks:8; a=ranks:16",  # duplicate job name
+        ],
+    )
+    def test_bad_scenarios_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_scenario(bad)
+
+
+class TestSpecValidation:
+    def test_zero_rank_job_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero-node"):
+            JobSpec(name="a", ranks=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rel_bound=0.0),
+            dict(submit_s=-1.0),
+            dict(work_s=-5.0),
+            dict(mttf_s=0.0),
+            dict(downtime_s=-1.0),
+        ],
+    )
+    def test_bad_job_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            JobSpec(name="a", ranks=8, **kwargs)
+
+    def test_bad_job_names_rejected(self):
+        for name in ("", "a;b", "a,b", "a=b", "a:b", "a b"):
+            with pytest.raises(ConfigurationError):
+                JobSpec(name=name, ranks=8)
+
+    def test_cluster_spec_validation(self):
+        job = JobSpec(name="a", ranks=8)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_nodes=0, jobs=(job,))
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_nodes=4, jobs=())
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ClusterSpec(n_nodes=4, jobs=(job, JobSpec(name="a", ranks=16)))
+
+    def test_over_subscribed_scenario_rejected(self, campaign):
+        # 96 ranks need 2 nodes of this 48-core CPU; a 1-node cluster
+        # can never run the job.
+        spec = ClusterSpec(n_nodes=1, jobs=(JobSpec(name="wide", ranks=96),))
+        with pytest.raises(ConfigurationError, match="over-subscribed"):
+            simulate_cluster(spec, campaign)
+
+
+class TestMatrixHelpers:
+    def test_scenario_matrix_cross_product(self):
+        specs = scenario_matrix(
+            nodes=(4, 8),
+            n_jobs=(2,),
+            ranks=(48,),
+            codecs=("szx", "none"),
+            submit_stagger_s=(0.0, 10.0),
+        )
+        assert len(specs) == 8
+        staggered = specs[1]
+        assert [j.name for j in staggered.jobs] == ["j0", "j1"]
+        assert staggered.jobs[1].submit_s in (0.0, 10.0)
+        codecs = {tuple(j.codec for j in s.jobs) for s in specs}
+        assert ("szx", "szx") in codecs and (None, None) in codecs
+
+    def test_compression_mixes_default_space(self):
+        base = parse_scenario("nodes=4; a=ranks:8,codec:szx; b=ranks:8,codec:sz3")
+        mixes = compression_mixes(base)
+        assert len(mixes) == 4  # {szx, None} x {sz3, None}
+        assignments = {tuple(j.codec for j in m.jobs) for m in mixes}
+        assert assignments == {
+            ("szx", "sz3"), ("szx", None), (None, "sz3"), (None, None),
+        }
+
+    def test_uncompressed_jobs_stay_uncompressed(self):
+        base = parse_scenario("nodes=4; a=ranks:8,codec:szx; b=ranks:8,codec:none")
+        mixes = compression_mixes(base)
+        assert len(mixes) == 2
+        assert all(m.jobs[1].codec is None for m in mixes)
+
+    def test_explicit_choices(self):
+        base = parse_scenario("nodes=4; a=ranks:8,codec:szx")
+        mixes = compression_mixes(base, choices={"a": ("szx", "sz3", None)})
+        assert [m.jobs[0].codec for m in mixes] == ["szx", "sz3", None]
+
+
+class TestGoldenIdentity:
+    """A single-tenant scenario IS the Fig. 12 campaign, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "ranks,codec,ratio",
+        [(16, None, 1.0), (100, "sz3", 20.0), (512, "szx", 7.3)],
+    )
+    def test_single_tenant_collapses_to_campaign_run(
+        self, campaign, ranks, codec, ratio
+    ):
+        ref = campaign.run(ranks, codec, 1e-3, compression_ratio=ratio)
+        spec = ClusterSpec(
+            n_nodes=ref.nodes,
+            jobs=(JobSpec(name="solo", ranks=ranks, codec=codec),),
+        )
+        timeline = simulate_cluster(spec, campaign, {"solo": ratio})
+        job = timeline.jobs[0]
+        # Exact-float equality, not approx: the scheduler must reproduce
+        # the campaign's arithmetic path, no drift allowed.
+        assert job.compress_energy_j == ref.compress_energy_j
+        assert job.write_energy_j == ref.write_energy_j
+        assert job.t_comp == ref.compress_time_s
+        assert job.write_time_s == ref.write_time_s
+        assert job.out_bytes == ref.bytes_per_rank
+        assert job.nodes == ref.nodes
+        assert job.stretch == 1.0
+        assert not job.backfilled and job.queue_wait_s == 0.0
+
+    def test_single_tenant_converges_immediately(self, campaign):
+        spec = ClusterSpec(n_nodes=1, jobs=(JobSpec(name="solo", ranks=16),))
+        assert simulate_cluster(spec, campaign).iterations == 2
+
+
+class TestContention:
+    def test_two_tenants_stretch_strictly(self, campaign):
+        spec = parse_scenario(
+            "nodes=22; a=ranks:512,codec:none; b=ranks:512,codec:none"
+        )
+        timeline = simulate_cluster(spec, campaign)
+        for job in timeline.jobs:
+            assert job.write_time_s > job.dedicated_write_time_s
+            assert job.stretch > 1.5  # two writers share one aggregate
+        # Symmetric tenants submitted together see identical physics.
+        a, b = timeline.jobs
+        assert a.write_time_s == b.write_time_s
+        assert a.total_energy_j == b.total_energy_j
+
+    def test_contended_energy_exceeds_dedicated(self, campaign):
+        contended = simulate_cluster(
+            parse_scenario("nodes=22; a=ranks:512,codec:none; b=ranks:512,codec:none"),
+            campaign,
+        )
+        solo = simulate_cluster(
+            parse_scenario("nodes=22; a=ranks:512,codec:none"), campaign
+        )
+        # Longer writes burn more node-seconds: machine-wide energy of two
+        # contending tenants exceeds twice the dedicated tenant's.
+        assert contended.total_energy_j > 2 * solo.total_energy_j
+
+    def test_makespan_is_last_finish(self, campaign):
+        spec = parse_scenario(
+            "nodes=4; a=ranks:48,codec:szx; b=ranks:48,codec:none,submit:2"
+        )
+        timeline = simulate_cluster(spec, campaign, {"a": 7.0})
+        assert timeline.makespan_s == max(j.finish_s for j in timeline.jobs)
+
+
+class TestScheduler:
+    def test_fifo_queue_wait(self, campaign):
+        # One node, two jobs: b must wait for a's full occupancy.
+        spec = parse_scenario("nodes=1; a=ranks:48; b=ranks:48,submit:1")
+        timeline = simulate_cluster(spec, campaign)
+        a, b = timeline.jobs
+        assert a.start_s == 0.0
+        assert b.start_s == a.finish_s
+        assert b.queue_wait_s > 0
+
+    def test_backfill_past_blocked_wide_job(self, campaign):
+        # a occupies 1 of 2 nodes for a long compute; b needs both nodes
+        # and blocks; c (short, narrow) must backfill around b without
+        # delaying it.
+        spec = parse_scenario(
+            "nodes=2; a=ranks:48,work:300; b=ranks:96,submit:1; "
+            "c=ranks:48,submit:2,work:10"
+        )
+        timeline = simulate_cluster(spec, campaign)
+        jobs = {j.spec.name: j for j in timeline.jobs}
+        assert jobs["c"].backfilled
+        assert not jobs["a"].backfilled and not jobs["b"].backfilled
+        assert jobs["c"].start_s < jobs["b"].start_s
+        # b starts once a's node frees — c's backfill ran in the shadow.
+        assert jobs["b"].start_s >= jobs["a"].finish_s
+
+    def test_same_seed_timeline_is_deterministic(self, campaign):
+        text = (
+            "nodes=4; a=ranks:96,codec:szx,work:900,mttf:14400,seed:3; "
+            "b=ranks:48,codec:none,submit:5; c=ranks:48,submit:9,work:60"
+        )
+        runs = [
+            simulate_cluster(parse_scenario(text), campaign, {"a": 7.0})
+            for _ in range(2)
+        ]
+        first, second = runs
+        assert first.makespan_s == second.makespan_s
+        assert first.iterations == second.iterations
+        for j1, j2 in zip(first.jobs, second.jobs):
+            assert j1.start_s == j2.start_s
+            assert j1.finish_s == j2.finish_s
+            assert j1.total_energy_j == j2.total_energy_j
+            assert j1.backfilled == j2.backfilled
+
+    def test_write_bytes_conserved_across_tenants(self, campaign):
+        # The global solve must move exactly each tenant's bytes no matter
+        # how the flows interleave.
+        spec = parse_scenario(
+            "nodes=22; a=ranks:512,codec:szx; b=ranks:512,codec:none,submit:1"
+        )
+        timeline = simulate_cluster(spec, campaign, {"a": 7.3})
+        for job in timeline.jobs:
+            assert job.finish_s >= job.t0
+        # The shared link cannot move the combined payload faster than its
+        # aggregate ceiling allows.
+        total_mb = sum(j.out_bytes * j.spec.ranks for j in timeline.jobs) / 1e6
+        eff = campaign.io.cost.bandwidth_efficiency
+        window = max(j.finish_s for j in timeline.jobs) - min(
+            j.t0 for j in timeline.jobs
+        )
+        assert window >= total_mb / (campaign.pfs.aggregate_bw_mbps * eff) - 1e-9
+
+
+class TestLifecycle:
+    def test_failure_free_compute_is_plain_hold(self, campaign):
+        spec = parse_scenario("nodes=1; a=ranks:48,work:600")
+        job = simulate_cluster(spec, campaign).jobs[0]
+        assert job.pre_s == 600.0
+        assert job.lifecycle is None
+        assert job.lifecycle_energy_j > 0  # compute phase still costs energy
+
+    def test_failures_stretch_the_compute_phase(self, campaign):
+        spec = parse_scenario("nodes=1; a=ranks:48,work:3600,mttf:7200,seed:1")
+        job = simulate_cluster(spec, campaign).jobs[0]
+        assert job.lifecycle is not None
+        # Checkpoints + failures can only add to the failure-free work.
+        assert job.pre_s > 3600.0
+        assert job.lifecycle.n_checkpoints > 0
+        assert job.lifecycle_energy_j > 0
+
+    def test_lifecycle_independent_of_queue_position(self, campaign):
+        # The same seeded lifecycle runs whether the tenant starts at t=0
+        # or waits behind another job: failure history is job-local.
+        alone = simulate_cluster(
+            parse_scenario("nodes=1; a=ranks:48,work:900,mttf:7200,seed:5"),
+            campaign,
+        ).jobs[0]
+        queued = {
+            j.spec.name: j
+            for j in simulate_cluster(
+                parse_scenario(
+                    "nodes=1; front=ranks:48,work:60; "
+                    "a=ranks:48,work:900,mttf:7200,seed:5,submit:1"
+                ),
+                campaign,
+            ).jobs
+        }["a"]
+        assert queued.start_s > 0
+        assert queued.pre_s == alone.pre_s
+        assert queued.lifecycle.n_failures == alone.lifecycle.n_failures
+        assert queued.lifecycle_energy_j == alone.lifecycle_energy_j
+
+
+class TestClusterKindPlumbing:
+    """The registry-native surface: store keys, wire records, schema gates."""
+
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        from repro.core.experiments import Testbed
+
+        return Testbed(scale="tiny")
+
+    @pytest.fixture(scope="class")
+    def result(self, testbed):
+        import repro.cluster.kind  # noqa: F401
+
+        return testbed.engine.evaluate(
+            "cluster_point",
+            dataset="cesm",
+            scenario="nodes=4; a=ranks:8,codec:szx; b=ranks:8,codec:none,submit:1",
+            io_library="hdf5",
+            cpu_name="plat8160",
+        )
+
+    def test_store_key_is_spelling_invariant(self, testbed):
+        from repro.runtime.registry import get_kind
+        from repro.runtime.spec import SweepSpec
+        from repro.runtime.store import point_key, testbed_fingerprint
+
+        fingerprint = testbed_fingerprint(testbed)
+        keys = []
+        for text in (
+            "nodes=4; a=ranks:8,codec:szx; b=ranks:8,codec:none",
+            "nodes=4; a=codec:szx,ranks:8,bound:1e-3; b=ranks:8",
+        ):
+            spec = SweepSpec(
+                kind="cluster",
+                datasets=("cesm",),
+                io_libraries=("hdf5",),
+                cpus=("plat8160",),
+                scenario=text,
+            )
+            get_kind("cluster").validate(spec)
+            (point,) = [
+                p for p in get_kind("cluster").expand(spec)
+            ]
+            keys.append(point_key(point.op, point.as_kwargs(), fingerprint))
+        assert keys[0] == keys[1]
+        assert len(keys[0]) == 64 and set(keys[0]) <= set("0123456789abcdef")
+
+    def test_nested_record_store_roundtrip(self, result):
+        from repro.runtime.store import decode_record, encode_record
+
+        payload = encode_record(result)
+        assert payload["__record__"] == "ClusterResult"
+        assert all(t["__record__"] == "TenantResult" for t in payload["tenants"])
+        assert decode_record(payload) == result
+
+    def test_wire_records_pass_kind_schema_and_invariants(self, result):
+        from repro.runtime.registry import get_kind, to_wire
+
+        assert get_kind("cluster").check_records(to_wire([result])) == []
+
+    def test_campaign_records_validate_schema_only(self, campaign):
+        from repro.runtime.registry import check_record_payloads, record_types, to_wire
+
+        rec = campaign.run(16, "szx", 1e-3, compression_ratio=7.0)
+        cls = record_types()["CampaignResult"]
+        assert type(rec) is cls
+        assert check_record_payloads(cls, to_wire([rec])) == []
+        broken = to_wire([rec])
+        del broken[0]["write_energy_j"]
+        assert check_record_payloads(cls, broken)
+
+    def test_schema_tool_accepts_kind_and_record_names(self, tmp_path, campaign):
+        import json
+        import pathlib
+        import sys
+
+        tools = str(pathlib.Path(__file__).resolve().parents[1] / "tools")
+        sys.path.insert(0, tools)
+        try:
+            from check_record_schemas import check
+        finally:
+            sys.path.remove(tools)
+        from repro.runtime.registry import to_wire
+
+        rec = campaign.run(16, None, 1e-3)
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(to_wire([rec])))
+        assert check("CampaignResult", path) == []
+        assert check("no_such_kind", path)
+
+    def test_single_tenant_record_matches_campaign(self, testbed):
+        # The registry path (testbed-built campaign) reproduces run_multinode
+        # numbers for a single tenant: the golden identity holds end to end.
+        import repro.cluster.kind  # noqa: F401
+
+        from repro.cluster.campaign import MultiNodeCampaign
+        from repro.data.registry import get_dataset
+        from repro.iolib import get_io_library
+
+        result = testbed.engine.evaluate(
+            "cluster_point",
+            dataset="cesm",
+            scenario="nodes=1; solo=ranks:16,codec:szx",
+            io_library="hdf5",
+            cpu_name="plat8160",
+        )
+        dspec = get_dataset("cesm")
+        ratio = testbed.roundtrip("cesm", "szx", 1e-3).ratio
+        ref = MultiNodeCampaign(
+            cpu=get_cpu("plat8160"),
+            pfs=testbed.pfs,
+            io_library=get_io_library("hdf5"),
+            payload_nbytes=dspec.paper_nbytes // 6,
+            complexity=dspec.complexity,
+            throughput=testbed.throughput,
+            sample_interval=max(testbed.sample_interval, 0.02),
+        ).run(16, "szx", 1e-3, compression_ratio=ratio)
+        tenant = result.tenants[0]
+        assert tenant.compress_energy_j == ref.compress_energy_j
+        assert tenant.write_energy_j == ref.write_energy_j
+        assert tenant.write_time_s == ref.write_time_s
+        assert tenant.bytes_per_rank == ref.bytes_per_rank
+
+
+class TestClusterAdvisor:
+    def test_contention_flips_the_compress_verdict(self):
+        # Three ZFP tenants on nyx at 1e-4: compressing costs energy on a
+        # dedicated machine (the compressor works harder than the dedicated
+        # write it saves), but with three tenants contending for one PFS
+        # aggregate the uncompressed writes stretch ~3x and compression
+        # flips to a machine-wide win — the scenario documented in
+        # docs/user-guide/cluster.md.
+        from repro.core.advisor import ClusterAdvisor
+        from repro.core.experiments import Testbed
+
+        advisor = ClusterAdvisor(testbed=Testbed(scale="tiny"))
+        advice = advisor.advise(
+            "nyx",
+            "nodes=3; t0=ranks:48,codec:zfp,bound:1e-4; "
+            "t1=ranks:48,codec:zfp,bound:1e-4; t2=ranks:48,codec:zfp,bound:1e-4",
+        )
+        assert not advice.dedicated_compress_saves
+        assert advice.everyone_compress_saves
+        assert advice.flips
+        assert advice.flip_margin_j > 0
+        assert advice.compress
+        assert "FLIPS" in advice.rationale
+        # The winning mix can only improve on the two uniform assignments.
+        assert advice.best_energy_j <= advice.all_energy_j
+        assert advice.best_energy_j <= advice.none_energy_j
+        assert advice.n_jobs == 3 and len(advice.mixes) == 8

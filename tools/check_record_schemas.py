@@ -14,6 +14,11 @@ Usage::
 
     python tools/check_record_schemas.py KIND SWEEP.json
 
+``KIND`` may also name a record dataclass registered through
+``registry.register_record`` without owning a kind (``CampaignResult``,
+``CheckpointCampaignResult``): those validate schema-only, so campaign
+JSON is gated like every registered kind's.
+
 Exits non-zero (listing the violations) on any failure, so schema or model
 drift fails the build instead of shipping silently.
 """
@@ -29,18 +34,27 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 def check(kind_name: str, path) -> list[str]:
     """All schema/invariant violations in ``path`` (empty list = valid)."""
+    import repro.cluster.kind  # noqa: F401  (registers the `cluster` plugin kind)
     import repro.dataset  # noqa: F401  (registers the `dataset` plugin kind)
     from repro.errors import ConfigurationError
     from repro.runtime import registry
 
+    record_cls = None
     try:
         kind = registry.get_kind(kind_name)
     except ConfigurationError as exc:
-        return [str(exc)]
+        # Not a kind: fall back to the registered record dataclasses, so
+        # kind-less records (campaign results) validate schema-only.
+        record_cls = registry.record_types().get(kind_name)
+        if record_cls is None:
+            return [str(exc)]
+        kind = None
     try:
         records = json.loads(pathlib.Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         return [f"cannot read {path}: {exc}"]
+    if kind is None:
+        return registry.check_record_payloads(record_cls, records)
     return kind.check_records(records)
 
 
