@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -33,6 +34,34 @@ from repro.core.report import format_table, si
 from repro.runtime import registry
 
 __all__ = ["main", "build_parser"]
+
+
+_TRACE_HELP = (
+    "write an execution trace to PATH on exit: Chrome trace-event JSON "
+    "(Perfetto-loadable) by default, a JSONL span log when PATH ends in "
+    ".jsonl (see docs/user-guide/observability.md)"
+)
+
+
+@contextmanager
+def _maybe_tracing(path: str | None):
+    """Activate a tracer for the block when ``path`` is set; write on exit.
+
+    The trace is written even when the command fails — a failing sweep's
+    trace is exactly the one worth reading.  ``None`` path = no tracer, no
+    overhead (instrumentation sites see ``active_tracer() is None``).
+    """
+    if not path:
+        yield None
+        return
+    from repro.obs import tracing, write_trace
+
+    with tracing() as tracer:
+        try:
+            yield tracer
+        finally:
+            n = write_trace(tracer, path)
+            print(f"trace: {n} events -> {path}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,8 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json",
         action="store_true",
-        help="emit records as a JSON array instead of a table",
+        help="emit records as a JSON array instead of a table "
+        "(with a trailing __meta__ element carrying engine/store stats)",
     )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line (done/total, cache-hit/retry/"
+        "failed tallies) on stderr while the sweep runs",
+    )
+    p.add_argument("--trace", default=None, metavar="PATH", help=_TRACE_HELP)
 
     p = sub.add_parser(
         "bench",
@@ -293,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the result document as JSON on stdout",
     )
+    p.add_argument("--trace", default=None, metavar="PATH", help=_TRACE_HELP)
 
     p = sub.add_parser(
         "dataset",
@@ -331,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         w.add_argument(flag, **kw)
     w.add_argument("--n-chunks", type=int, default=1,
                    help="store each variable as this many leading-axis chunks")
+    w.add_argument("--trace", default=None, metavar="PATH", help=_TRACE_HELP)
 
     r = dsub.add_parser("read", help="read a facade container back")
     r.add_argument("input", help="container file written by `repro dataset write`")
@@ -347,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         t.add_argument(flag, **kw)
     t.add_argument("--json", action="store_true",
                    help="emit the records as a JSON array instead of a table")
+    t.add_argument("--trace", default=None, metavar="PATH", help=_TRACE_HELP)
 
     p = sub.add_parser(
         "cluster",
@@ -376,12 +416,24 @@ def build_parser() -> argparse.ArgumentParser:
         cr.add_argument(flag, **kw)
     cr.add_argument("--json", action="store_true",
                     help="emit the ClusterResult records as a JSON array")
+    cr.add_argument("--trace", default=None, metavar="PATH", help=_TRACE_HELP)
     ca = csub.add_parser(
         "advise",
         help="search per-tenant compression mixes for the energy optimum",
     )
     for flag, kw in cluster_common:
         ca.add_argument(flag, **kw)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect trace files written by --trace",
+        description="Work with the observability traces the --trace flag "
+        "writes: summarize renders per-track span counts, busy time, and "
+        "recorded metrics for either export format.",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser("summarize", help="print a per-track summary table")
+    ts.add_argument("input", help="trace file (Chrome JSON or JSONL span log)")
 
     sub.add_parser("datasets", help="list the dataset catalogue (Table II)")
     sub.add_parser("cpus", help="list the CPU catalogue (Table I)")
@@ -649,17 +701,24 @@ def _cmd_sweep(args) -> int:
         else:
             print(f"resuming: {progress[0]}/{progress[1]} unique points "
                   "already complete", file=sys.stderr)
-    engine = SweepEngine(
-        testbed=testbed,
-        store=ResultStore(cache_dir=args.cache_dir),
-        executor=args.executor,
-        max_workers=args.workers,
-        retry_policy=RetryPolicy(
-            max_attempts=args.retries + 1, timeout_s=args.timeout
-        ),
-        on_error=args.on_error,
-    )
-    results = engine.run(spec)
+    with _maybe_tracing(args.trace) as tracer:
+        from repro.obs import ProgressPrinter, TracerBridge, compose
+
+        engine = SweepEngine(
+            testbed=testbed,
+            store=ResultStore(cache_dir=args.cache_dir),
+            executor=args.executor,
+            max_workers=args.workers,
+            retry_policy=RetryPolicy(
+                max_attempts=args.retries + 1, timeout_s=args.timeout
+            ),
+            on_error=args.on_error,
+            on_event=compose(
+                TracerBridge(tracer) if tracer is not None else None,
+                ProgressPrinter() if args.progress else None,
+            ),
+        )
+        results = engine.run(spec)
     if not results:
         print("sweep expanded to zero grid points", file=sys.stderr)
         return 1
@@ -669,11 +728,21 @@ def _cmd_sweep(args) -> int:
         # Lossless round-trips carry psnr_db=inf; registry.to_wire keeps
         # the emitted JSON RFC-valid (json.dumps would print `Infinity`).
         # Failed positions stay in grid order as tagged __failed__ objects.
+        # The trailing __meta__ element carries run statistics; record
+        # consumers (and the schema checkers) skip it by its tag.
         wire_records = iter(registry.to_wire(records))
         wire = [
             r.to_wire() if isinstance(r, FailedPoint) else next(wire_records)
             for r in results
         ]
+        wire.append({
+            "__meta__": {
+                "engine": engine.stats.snapshot(),
+                "store": engine.store.stats,
+                "executor": args.executor,
+                "kind": spec.kind,
+            }
+        })
         print(_json.dumps(wire, indent=2))
     else:
         if records:
@@ -701,13 +770,14 @@ def _cmd_bench(args) -> int:
         tuple(d for d in args.datasets.split(",") if d) if args.datasets else None
     )
     try:
-        doc = run_and_report(
-            args.output,
-            datasets=datasets,
-            quick=args.quick,
-            repeats=args.repeats,
-            max_regression_pct=args.max_regression,
-        )
+        with _maybe_tracing(args.trace):
+            doc = run_and_report(
+                args.output,
+                datasets=datasets,
+                quick=args.quick,
+                repeats=args.repeats,
+                max_regression_pct=args.max_regression,
+            )
     except BenchmarkRegression as exc:
         print(f"BENCH REGRESSION: {exc}")
         for d in exc.offenders:
@@ -755,14 +825,15 @@ def _cmd_dataset_write(args) -> int:
         bounds=tuple(float(b) for b in _csv_arg(args.bounds)),
         io_library=args.io,
     )
-    report = write(
-        ds,
-        args.output,
-        compression=args.compression,
-        io_library=args.io,
-        n_chunks=args.n_chunks,
-        tuner=tuner,
-    )
+    with _maybe_tracing(args.trace):
+        report = write(
+            ds,
+            args.output,
+            compression=args.compression,
+            io_library=args.io,
+            n_chunks=args.n_chunks,
+            tuner=tuner,
+        )
     print(_tuning_table(report.tuning, title=f"wrote {args.output}"))
     print(
         f"{si(report.original_nbytes, 'B')} -> {si(report.bytes_written, 'B')} "
@@ -824,7 +895,8 @@ def _cmd_dataset_tune(args) -> int:
     engine = SweepEngine(
         testbed=Testbed(scale=args.scale), store=ResultStore(), executor="serial"
     )
-    records = engine.run(spec)
+    with _maybe_tracing(args.trace):
+        records = engine.run(spec)
     if args.json:
         print(_json.dumps(registry.to_wire(records), indent=2))
     else:
@@ -887,7 +959,8 @@ def _cmd_cluster_run(args) -> int:
     engine = SweepEngine(
         testbed=Testbed(scale=args.scale), store=ResultStore(), executor="serial"
     )
-    records = engine.run(spec)
+    with _maybe_tracing(args.trace):
+        records = engine.run(spec)
     if args.json:
         print(_json.dumps(registry.to_wire(records), indent=2))
         return 0
@@ -930,6 +1003,27 @@ def _cmd_cluster(args) -> int:
         "run": _cmd_cluster_run,
         "advise": _cmd_cluster_advise,
     }[args.cluster_command](args)
+
+
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs import load_trace, summarize
+
+    try:
+        spans, metrics = load_trace(args.input)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace {args.input}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"{args.input}: no spans recorded")
+        return 0
+    print(summarize(spans, metrics), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    return {
+        "summarize": _cmd_trace_summarize,
+    }[args.trace_command](args)
 
 
 def _cmd_datasets(args) -> int:
@@ -980,6 +1074,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "datasets": _cmd_datasets,
     "cpus": _cmd_cpus,
     "codecs": _cmd_codecs,

@@ -12,6 +12,7 @@ import heapq
 from typing import Generator, Iterable
 
 from repro.errors import SimulationError
+from repro.obs.trace import active_tracer
 
 __all__ = ["Event", "EventLoop", "Process"]
 
@@ -47,17 +48,25 @@ class Process:
         self.gen = gen
         self.name = name
         self.finished = False
+        self.spawn_time: float | None = None
         self.finish_time: float | None = None
         self.result = None
 
 
 class EventLoop:
-    """Deterministic event loop with float virtual time."""
+    """Deterministic event loop with float virtual time.
 
-    def __init__(self):
+    ``trace_track`` opts the loop into observability: when set *and* a
+    tracer is active, every finished process emits one virtual span
+    (spawn→finish, in simulated seconds) onto that track.  Off by default
+    so inner solver loops (re-run per fixed-point pass) stay silent.
+    """
+
+    def __init__(self, trace_track: str | None = None):
         self._now = 0.0
         self._queue: list[tuple[float, int, Process]] = []
         self._seq = 0
+        self.trace_track = trace_track
 
     @property
     def now(self) -> float:
@@ -71,6 +80,7 @@ class EventLoop:
     def spawn(self, gen: Generator, name: str = "", delay: float = 0.0) -> Process:
         """Register a process to start after ``delay`` seconds."""
         proc = Process(gen, name)
+        proc.spawn_time = self._now + delay
         self._schedule(self._now + delay, proc)
         return proc
 
@@ -107,6 +117,13 @@ class EventLoop:
             proc.finished = True
             proc.finish_time = self._now
             proc.result = stop.value
+            if self.trace_track is not None:
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.add_span(
+                        proc.name or "process", self.trace_track,
+                        proc.spawn_time or 0.0, self._now,
+                    )
             return
         if isinstance(yielded, Event):
             if yielded.fired:

@@ -46,9 +46,10 @@ from repro.cluster.campaign import MultiNodeCampaign
 from repro.cluster.events import EventLoop
 from repro.energy.measurement import Interval
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.trace import active_tracer
 from repro.workloads.checkpoint import CheckpointSpec, resolve_interval
 from repro.workloads.failures import FailureModel
-from repro.workloads.lifecycle import LifecycleStats, run_lifecycle
+from repro.workloads.lifecycle import LifecycleStats, run_lifecycle, trace_intervals
 
 __all__ = [
     "JobSpec",
@@ -653,6 +654,15 @@ def simulate_cluster(
             new_drains[st.spec.name] = float(sl.max()) - arrivals[st.spec.name]
             offset += st.spec.ranks
         drains = new_drains
+        tracer = active_tracer()
+        if tracer is not None:
+            # One virtual span per fixed-point pass, covering the schedule
+            # horizon that pass computed — successive passes visualise the
+            # solve converging.
+            tracer.add_span(
+                f"pass:{iteration}", "fixed-point", 0.0, float(finish.max()),
+                iteration=iteration,
+            )
         if prev_starts is not None and all(
             starts[n] == prev_starts[n] for n in names
         ):
@@ -746,9 +756,65 @@ def simulate_cluster(
             )
         )
 
-    return ClusterTimeline(
+    timeline = ClusterTimeline(
         spec=spec,
         jobs=tuple(outcomes),
         makespan_s=max(o.finish_s for o in outcomes),
         iterations=iteration,
+    )
+    tracer = active_tracer()
+    if tracer is not None:
+        _trace_timeline(tracer, timeline)
+    return timeline
+
+
+def _trace_timeline(tracer, timeline: ClusterTimeline) -> None:
+    """Virtual Gantt of one converged cluster run: one track per tenant.
+
+    Emitted strictly after convergence from the outcome records, so tracing
+    can never perturb the fixed point.  The whole-job span's args carry the
+    *exact* finish time and energy floats (JSON round-trips ``repr``-exact
+    doubles), which is what lets the traced-equals-untraced tests recover
+    makespan and total energy bit-identically from the trace file alone.
+    """
+    for o in timeline.jobs:
+        track = f"tenant:{o.spec.name}"
+        tracer.instant(
+            f"grant:{o.spec.name}", "scheduler", o.start_s,
+            backfilled=o.backfilled, nodes=o.nodes,
+        )
+        if o.start_s > o.submit_s:
+            tracer.add_span("queued", track, o.submit_s, o.start_s)
+        if o.pre_s > 0:
+            if o.lifecycle is not None:
+                trace_intervals(tracer, o.lifecycle.intervals, track,
+                                offset_s=o.start_s)
+            else:
+                tracer.add_span("compute", track, o.start_s,
+                                o.start_s + o.pre_s)
+        cpu0 = o.t0 - (o.t_comp + o.t_serialize)
+        if o.t_comp > 0:
+            tracer.add_span("compress", track, cpu0, cpu0 + o.t_comp,
+                            codec=o.spec.codec or "none")
+        if o.t_serialize > 0:
+            tracer.add_span("serialize", track, cpu0 + o.t_comp, o.t0)
+        tracer.add_span("pfs-drain", track, o.t0, o.finish_s,
+                        out_bytes=o.out_bytes, write_time_s=o.write_time_s,
+                        stretch=o.stretch)
+        tracer.add_span(
+            f"job:{o.spec.name}", track, o.submit_s, o.finish_s,
+            finish_s=o.finish_s,
+            compress_energy_j=o.compress_energy_j,
+            write_energy_j=o.write_energy_j,
+            lifecycle_energy_j=o.lifecycle_energy_j,
+            total_energy_j=o.total_energy_j,
+            backfilled=o.backfilled,
+            nodes=o.nodes,
+        )
+    tracer.add_span(
+        "cluster", "scheduler", 0.0, timeline.makespan_s,
+        makespan_s=timeline.makespan_s,
+        total_energy_j=timeline.total_energy_j,
+        iterations=timeline.iterations,
+        n_jobs=len(timeline.jobs),
     )

@@ -24,6 +24,7 @@ from typing import ClassVar
 import numpy as np
 
 from repro.errors import CompressionError, DecompressionError
+from repro.obs.trace import active_tracer
 
 __all__ = [
     "CompressedBuffer",
@@ -129,7 +130,7 @@ class Compressor:
         if self.lossless:
             # Lossless codecs compress the original-dtype bytes so their
             # ratios are comparable with the EBLCs (Fig. 1 semantics).
-            payload = self._compress_impl(array, 0.0)
+            payload = self._timed_compress(array, 0.0)
             flag = _FLAG_LOSSLESS
             abs_bound = 0.0
             values = array
@@ -157,7 +158,7 @@ class Compressor:
                 eps_mach = 2.0**-24 if array.dtype == np.float32 else 2.0**-50
                 margin = max(abs(vmin), abs(vmax)) * eps_mach
                 abs_bound = max(abs_bound - margin, 0.5 * abs_bound)
-                payload = self._compress_impl(values, abs_bound)
+                payload = self._timed_compress(values, abs_bound)
                 flag = _FLAG_NORMAL
 
         header = self._pack_header(array, rel_bound, abs_bound, flag)
@@ -184,10 +185,41 @@ class Compressor:
             (value,) = struct.unpack_from("<d", payload, 0)
             return np.full(shape, value, dtype=dtype)
         if flag == _FLAG_LOSSLESS:
-            out = self._decompress_impl(payload, shape, 0.0)
+            out = self._timed_decompress(payload, shape, 0.0)
         else:
-            out = self._decompress_impl(payload, shape, abs_bound)
+            out = self._timed_decompress(payload, shape, abs_bound)
         return np.asarray(out, dtype=dtype).reshape(shape)
+
+    # -- tracing shims ------------------------------------------------------
+
+    def _timed_compress(self, values: np.ndarray, abs_bound: float) -> bytes:
+        """``_compress_impl`` under an optional wall span (codec track)."""
+        tracer = active_tracer()
+        if tracer is None:
+            return self._compress_impl(values, abs_bound)
+        t0 = tracer.now()
+        payload = self._compress_impl(values, abs_bound)
+        tracer.add_span(
+            f"compress:{self.name}", "codec", t0, tracer.now(), clock="wall",
+            codec=self.name, in_nbytes=int(values.nbytes),
+            out_nbytes=len(payload),
+        )
+        return payload
+
+    def _timed_decompress(
+        self, payload: bytes, shape: tuple[int, ...], abs_bound: float
+    ) -> np.ndarray:
+        """``_decompress_impl`` under an optional wall span (codec track)."""
+        tracer = active_tracer()
+        if tracer is None:
+            return self._decompress_impl(payload, shape, abs_bound)
+        t0 = tracer.now()
+        out = self._decompress_impl(payload, shape, abs_bound)
+        tracer.add_span(
+            f"decompress:{self.name}", "codec", t0, tracer.now(), clock="wall",
+            codec=self.name, in_nbytes=len(payload),
+        )
+        return out
 
     # -- hooks for subclasses ----------------------------------------------
 

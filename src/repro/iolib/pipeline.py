@@ -38,6 +38,7 @@ from repro.energy.measurement import Interval
 from repro.errors import ConfigurationError
 from repro.iolib.base import WriteCostModel
 from repro.iolib.pfs import PFSModel
+from repro.obs.trace import active_tracer
 
 __all__ = [
     "PipelineConfig",
@@ -278,7 +279,7 @@ def plan_pipelined_write(
         Interval(float(finish.max()), total, 1, cost.transfer_activity, "write")
     )
 
-    return PipelinePlan(
+    plan = PipelinePlan(
         chunk_bytes=tuple(int(s) for s in sched.sizes),
         compress_start=tuple(float(s) for s in sched.stage_start),
         stage_finish=tuple(float(s) for s in sched.stage_finish),
@@ -288,4 +289,33 @@ def plan_pipelined_write(
         compress_time_s=float(compress_s),
         write_time_s=write_alone,
         intervals=tuple(intervals),
+    )
+    tracer = active_tracer()
+    if tracer is not None:
+        _trace_plan(tracer, plan)
+    return plan
+
+
+def _trace_plan(tracer, plan: PipelinePlan) -> None:
+    """Virtual spans for one solved pipeline: stage track + PFS track.
+
+    Two tracks render the overlap the plan exists to win: chunk *k*'s PFS
+    drain runs underneath chunk *k+1*'s stage work.
+    """
+    for i in range(plan.n_chunks):
+        tracer.add_span(
+            f"stage:chunk{i}", "pipeline:stage",
+            plan.compress_start[i], plan.stage_finish[i],
+            chunk=i, nbytes=plan.chunk_bytes[i],
+        )
+        tracer.add_span(
+            f"pfs:chunk{i}", "pipeline:pfs",
+            plan.write_arrival[i], plan.write_finish[i],
+            chunk=i, nbytes=plan.chunk_bytes[i],
+        )
+    tracer.add_span(
+        "pipelined-write", "pipeline:pfs",
+        plan.compress_start[0] if plan.n_chunks else 0.0, plan.total_time_s,
+        n_chunks=plan.n_chunks, total_time_s=plan.total_time_s,
+        overlap_saving_s=plan.overlap_saving_s,
     )

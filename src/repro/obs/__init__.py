@@ -1,0 +1,49 @@
+"""Observability: spans, metrics, and Perfetto-ready trace exports.
+
+Public surface::
+
+    from repro.obs import Tracer, tracing, active_tracer
+    from repro.obs import MetricsRegistry
+    from repro.obs import write_trace, load_trace, summarize
+
+Instrumentation sites across the runtime (engine, store, codecs) and the
+simulators (scheduler, lifecycle, pipeline) guard on
+:func:`active_tracer` returning ``None`` — tracing is strictly opt-in,
+costs nothing when off, and never changes behaviour when on (store keys,
+golden fixtures, and simulated timelines stay bit-identical either way).
+"""
+
+from repro.obs.bridge import ProgressPrinter, TracerBridge, compose
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    span_dict,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer, activate, active_tracer, tracing
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TracerBridge",
+    "ProgressPrinter",
+    "compose",
+    "span_dict",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+    "load_trace",
+    "summarize",
+]

@@ -1,0 +1,124 @@
+"""Bridges from the engine's ``on_event`` stream to tracing and terminals.
+
+The :class:`~repro.runtime.engine.SweepEngine` already narrates itself
+through :class:`~repro.runtime.engine.SweepEvent`\\ s; nothing consumed
+them from the CLI until now.  :class:`TracerBridge` turns the stream into
+tracer instants + metrics, :class:`ProgressPrinter` renders the live
+one-line counter for ``repro sweep --progress``, and :func:`compose`
+fans one ``on_event`` hook out to both.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.trace import Tracer
+
+__all__ = ["TracerBridge", "ProgressPrinter", "compose"]
+
+
+class TracerBridge:
+    """An ``on_event`` callable that narrates sweep progress into a tracer.
+
+    Points, retries, and failures become instants on the ``sweep`` wall
+    track (the heavyweight attempt spans come from the engine's own
+    instrumentation); tallies accumulate as metrics counters, and attempt
+    durations feed the ``engine.attempt_s`` histogram.
+    """
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    def __call__(self, event) -> None:
+        metrics = self.tracer.metrics
+        t = event.wall_time_s if event.wall_time_s else self.tracer.now()
+        if event.kind == "point":
+            metrics.counter(
+                "sweep.cache_hits" if event.cached else "sweep.computed"
+            ).inc()
+            if event.attempt_s > 0.0:
+                metrics.histogram("engine.attempt_s").observe(event.attempt_s)
+            self.tracer.instant(
+                f"point[{event.index}]", "sweep", t, clock="wall",
+                op=event.op, cached=event.cached,
+            )
+        elif event.kind == "retry":
+            metrics.counter("sweep.retries").inc()
+            self.tracer.instant(
+                f"retry[{event.index}]", "sweep", t, clock="wall",
+                op=event.op, attempt=event.attempt, error=event.error,
+            )
+        elif event.kind == "failed":
+            metrics.counter("sweep.failed").inc()
+            self.tracer.instant(
+                f"failed[{event.index}]", "sweep", t, clock="wall",
+                op=event.op, attempt=event.attempt, error=event.error,
+            )
+        elif event.kind in ("start", "finish"):
+            self.tracer.instant(event.kind, "sweep", t, clock="wall",
+                                total=event.total)
+
+
+class ProgressPrinter:
+    """Live single-line sweep progress: done/total plus tallies.
+
+    Writes ``\\r``-rewritten updates to ``stream`` (stderr by default, so
+    ``--json`` output on stdout stays machine-parseable) and finishes the
+    line on the ``finish`` event.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.retries = 0
+        self.failed = 0
+
+    def _render(self, final: bool = False) -> None:
+        line = (
+            f"sweep {self.done}/{self.total} "
+            f"(cached {self.cached}, retries {self.retries}, "
+            f"failed {self.failed})"
+        )
+        end = "\n" if final else ""
+        try:
+            self.stream.write(f"\r{line:<60}{end}")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed stream must never kill the sweep
+
+    def __call__(self, event) -> None:
+        if event.kind == "start":
+            self.total = event.total
+            self.done = 0
+            self._render()
+        elif event.kind == "point":
+            self.done += 1
+            if event.cached:
+                self.cached += 1
+            self._render()
+        elif event.kind == "retry":
+            self.retries += 1
+            self._render()
+        elif event.kind == "failed":
+            self.done += 1
+            self.failed += 1
+            self._render()
+        elif event.kind == "finish":
+            self._render(final=True)
+
+
+def compose(*callbacks):
+    """One ``on_event`` hook fanning out to several; None entries dropped."""
+    active = [cb for cb in callbacks if cb is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def fanout(event):
+        for cb in active:
+            cb(event)
+
+    return fanout

@@ -1,0 +1,247 @@
+"""Trace exporters: JSONL span log, Chrome trace-event JSON, summary table.
+
+The Chrome export loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: the two clock domains become two Perfetto
+*processes* (``pid 1`` = wall, ``pid 2`` = virtual) so simulated seconds
+are never drawn on the real-time axis, and each track (a tenant, a node,
+a worker, the PFS) becomes a named *thread* within its domain.  Display
+timestamps are microseconds (the format's unit) but every event also
+carries the exact float seconds in ``args`` (``t0_s``/``t1_s``) — the
+display rounding never becomes the artifact of record, which is what lets
+the traced-equals-untraced bit-identity tests compare real values.
+
+``write_jsonl`` is the machine-diffable log (one span per line, canonical
+field order); ``summarize`` is the human view — per-track totals grouped
+by clock domain.  ``load_trace`` reads either format back.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import defaultdict
+from pathlib import Path
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "span_dict",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+    "load_trace",
+    "summarize",
+]
+
+#: Clock domain → Perfetto pid.  Stable small ints so two traces of the
+#: same run diff cleanly.
+CLOCK_PIDS = {"wall": 1, "virtual": 2}
+
+
+def span_dict(span: Span) -> dict:
+    """JSON-safe dict for one span (the JSONL line payload)."""
+    return {
+        "name": span.name,
+        "clock": span.clock,
+        "track": span.track,
+        "t0": span.t0,
+        "t1": span.t1,
+        "args": dict(span.args),
+    }
+
+
+def _span_from_dict(payload: dict) -> Span:
+    return Span(
+        name=payload["name"],
+        clock=payload["clock"],
+        track=payload["track"],
+        t0=float(payload["t0"]),
+        t1=float(payload["t1"]),
+        args=dict(payload.get("args") or {}),
+    )
+
+
+def write_jsonl(tracer: Tracer, path) -> int:
+    """One span per line, plus a trailing metrics line; returns span count."""
+    spans = tracer.spans
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_dict(span), sort_keys=True))
+            fh.write("\n")
+        fh.write(json.dumps({"__metrics__": tracer.metrics.snapshot()},
+                            sort_keys=True))
+        fh.write("\n")
+    return len(spans)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The Chrome trace-event document for ``tracer`` (not yet serialised)."""
+    events: list[dict] = []
+    # Track → tid assignment, per clock domain, in first-appearance order.
+    tids: dict[tuple[str, str], int] = {}
+    next_tid: dict[str, int] = defaultdict(lambda: 1)
+    spans = tracer.spans
+    clocks_seen: dict[str, None] = {}
+    for span in spans:
+        clocks_seen.setdefault(span.clock, None)
+        tid = tids.get((span.clock, span.track))
+        if tid is None:
+            tid = next_tid[span.clock]
+            next_tid[span.clock] = tid + 1
+            tids[(span.clock, span.track)] = tid
+        pid = CLOCK_PIDS[span.clock]
+        args = dict(span.args)
+        args["t0_s"] = span.t0
+        args["t1_s"] = span.t1
+        event = {
+            "name": span.name,
+            "cat": span.clock,
+            "pid": pid,
+            "tid": tid,
+            "ts": span.t0 * 1e6,
+            "args": args,
+        }
+        if span.t1 > span.t0:
+            event["ph"] = "X"
+            event["dur"] = (span.t1 - span.t0) * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+    metadata: list[dict] = []
+    for clock in clocks_seen:
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": CLOCK_PIDS[clock],
+            "tid": 0, "args": {"name": f"{clock} clock"},
+        })
+    for (clock, track), tid in tids.items():
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": CLOCK_PIDS[clock],
+            "tid": tid, "args": {"name": track},
+        })
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": tracer.metrics.snapshot()},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path) -> int:
+    """Serialise :func:`chrome_trace` to ``path``; returns span count."""
+    doc = chrome_trace(tracer)
+    Path(path).write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n",
+                          encoding="utf-8")
+    return len(tracer)
+
+
+def write_trace(tracer: Tracer, path) -> int:
+    """Extension-dispatched export: ``.jsonl`` → span log, else Chrome JSON."""
+    if str(path).endswith(".jsonl"):
+        return write_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)
+
+
+def load_trace(path) -> tuple[list[Span], dict]:
+    """Read either export format back into ``(spans, metrics)``.
+
+    Chrome metadata events and instants round-trip through the exact
+    ``t0_s``/``t1_s`` args, so ``load_trace(write_trace(t))`` reproduces
+    the tracer's spans bit-identically in both formats.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    # A Chrome document is one JSON object spanning the whole file; the
+    # JSONL log is one object per line.  Sniff by parsing the first line.
+    first_line = stripped.splitlines()[0] if stripped else ""
+    is_chrome = False
+    if stripped.startswith("{"):
+        try:
+            first = json.loads(first_line)
+            is_chrome = "traceEvents" in first
+        except json.JSONDecodeError:
+            is_chrome = True  # multi-line document, not a JSONL log
+    if is_chrome:
+        doc = json.loads(text)
+        if "traceEvents" not in doc:
+            raise ValueError(f"{path}: not a trace file")
+        names: dict[tuple[int, int], str] = {}
+        for event in doc["traceEvents"]:
+            if event.get("ph") == "M" and event.get("name") == "thread_name":
+                names[(event["pid"], event["tid"])] = event["args"]["name"]
+        clock_by_pid = {pid: clock for clock, pid in CLOCK_PIDS.items()}
+        spans = []
+        for event in doc["traceEvents"]:
+            if event.get("ph") not in ("X", "i"):
+                continue
+            args = dict(event.get("args") or {})
+            t0 = args.pop("t0_s", event["ts"] / 1e6)
+            t1 = args.pop("t1_s", t0 + event.get("dur", 0.0) / 1e6)
+            spans.append(Span(
+                name=event["name"],
+                clock=clock_by_pid.get(event["pid"], "wall"),
+                track=names.get((event["pid"], event["tid"]),
+                                f"tid:{event['tid']}"),
+                t0=float(t0),
+                t1=float(t1),
+                args=args,
+            ))
+        metrics = (doc.get("otherData") or {}).get("metrics", {})
+        return spans, metrics
+    spans = []
+    metrics: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if "__metrics__" in payload:
+            metrics = payload["__metrics__"]
+            continue
+        spans.append(_span_from_dict(payload))
+    return spans, metrics
+
+
+def summarize(spans: list[Span], metrics: dict | None = None) -> str:
+    """Human summary: per-clock, per-track span counts and busy time."""
+    out = io.StringIO()
+    by_clock: dict[str, dict[str, list[Span]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for span in spans:
+        by_clock[span.clock][span.track].append(span)
+    for clock in sorted(by_clock):
+        tracks = by_clock[clock]
+        unit = "sim s" if clock == "virtual" else "s"
+        print(f"{clock} clock ({sum(len(v) for v in tracks.values())} spans)",
+              file=out)
+        header = f"  {'track':<28} {'spans':>6} {'busy':>12} {'span range':>24}"
+        print(header, file=out)
+        print("  " + "-" * (len(header) - 2), file=out)
+        for track in tracks:
+            track_spans = tracks[track]
+            busy = sum(s.duration_s for s in track_spans)
+            lo = min(s.t0 for s in track_spans)
+            hi = max(s.t1 for s in track_spans)
+            print(
+                f"  {track:<28} {len(track_spans):>6} {busy:>10.4f} {unit} "
+                f"{lo:>10.4f}..{hi:<10.4f}",
+                file=out,
+            )
+        print(file=out)
+    if metrics:
+        print(f"metrics ({len(metrics)})", file=out)
+        for name in sorted(metrics):
+            value = metrics[name]
+            if isinstance(value, dict):
+                mean = value.get("mean")
+                shown = (
+                    f"count={value.get('count')} mean="
+                    f"{mean:.6g}" if mean is not None else f"count={value.get('count')}"
+                )
+            elif isinstance(value, float):
+                shown = f"{value:.6g}"
+            else:
+                shown = str(value)
+            print(f"  {name:<44} {shown}", file=out)
+    return out.getvalue()

@@ -1,0 +1,188 @@
+"""Counters, gauges, and histograms behind one registry.
+
+The registry is the aggregation point the ISSUE's scattered counters flow
+through: :class:`~repro.runtime.engine.EngineStats` and
+``ResultStore.stats`` merge their snapshots in at run end (cheap, not
+hot-path), fault/retry bookkeeping increments counters as it happens, and
+benchmark throughputs land as gauges.  Everything is plain Python floats
+and ints — ``snapshot()`` is JSON-safe by construction, so the whole
+registry serialises into a trace file's metadata block.
+
+Thread-safe: one lock per instrument keeps increments from racing engine
+thread pools; the registry lock only guards instrument creation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (retries, cache hits, failures)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (MB/s, store entries)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observations (attempt durations, span lengths).
+
+    Keeps count/sum/min/max/sum-of-squares — enough for mean and standard
+    deviation without storing every observation, so a million-point sweep
+    costs O(1) memory per instrument.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_sumsq", "_min", "_max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._sumsq += value * value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                        "mean": None, "stddev": None}
+            mean = self._sum / self._count
+            var = max(0.0, self._sumsq / self._count - mean * mean)
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": mean,
+                "stddev": math.sqrt(var),
+            }
+
+
+class MetricsRegistry:
+    """Name → instrument, with get-or-create accessors.
+
+    Names are dotted paths (``engine.retries``, ``store.memory_hits``,
+    ``bench.huffman_decode.mb_per_s``); :meth:`merge` bulk-imports an
+    existing stats dict (``EngineStats.snapshot()``, ``store.stats``)
+    under a prefix, creating counters for ints and gauges for floats.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def merge(self, prefix: str, stats: dict) -> None:
+        """Import a flat stats dict: ints become counter values, floats gauges.
+
+        Counter semantics here are "set to the larger" rather than add —
+        merging the same snapshot twice (e.g. engine stats at each sweep
+        end) must not double-count cumulative counters.
+        """
+        for key, value in stats.items():
+            name = f"{prefix}.{key}"
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if isinstance(value, int):
+                ctr = self.counter(name)
+                with ctr._lock:
+                    ctr._value = max(ctr._value, value)
+            else:
+                self.gauge(name).set(value)
+
+    def snapshot(self) -> dict:
+        """JSON-safe ``{name: value-or-summary}`` for every instrument."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: inst.snapshot() for name, inst in sorted(instruments.items())}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._instruments

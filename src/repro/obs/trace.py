@@ -1,0 +1,186 @@
+"""Spans in two clock domains, and the process-wide active tracer.
+
+A :class:`Span` is one named interval on one named *track*.  Spans come in
+two clock domains:
+
+``wall``
+    Real execution time.  ``t0``/``t1`` are seconds since the tracer's
+    epoch (``time.perf_counter`` at activation), recorded by the
+    :meth:`Tracer.span` context manager around real work — an engine
+    attempt, a store read, a codec ``_compress_impl`` call.
+
+``virtual``
+    Simulated time.  ``t0``/``t1`` are *simulator seconds* supplied
+    explicitly via :meth:`Tracer.add_span` — a tenant's queued interval,
+    a lifecycle checkpoint segment, a pipeline chunk's PFS write.  They
+    are emitted after the fact from converged timelines, so tracing can
+    never perturb the simulation it describes.
+
+The two domains never share a timeline; exporters keep them on separate
+tracks (separate Perfetto processes) so a 9-second simulated makespan is
+not drawn inside a 40-millisecond real run.
+
+Zero overhead when disabled is a hard contract: instrumentation sites
+guard on :func:`active_tracer` returning ``None`` (one module-global load
+and one branch).  Tracing must also never change behaviour —
+span payloads carry copies of values, never participate in cache keys,
+and wall-clock fields stay out of every deterministic artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "activate",
+    "tracing",
+]
+
+_CLOCKS = ("wall", "virtual")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one track, in one clock domain.
+
+    ``t0``/``t1`` are seconds — since the tracer epoch for ``clock="wall"``,
+    simulator time for ``clock="virtual"``.  ``args`` is a JSON-safe dict of
+    annotations (codec name, byte counts, energies); it is payload for
+    humans and exporters only and never feeds back into any computation.
+    """
+
+    name: str
+    clock: str
+    track: str
+    t0: float
+    t1: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+
+class Tracer:
+    """Collects spans and instants; owns a :class:`MetricsRegistry`.
+
+    Thread-safe: engine thread pools and concurrent store readers append
+    spans under one lock.  The tracer is deliberately *not* picklable —
+    process-pool workers run untraced and the parent records their
+    submit→completion wall spans instead.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._epoch = time.perf_counter()
+        self.metrics = MetricsRegistry()
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Wall seconds since this tracer's epoch."""
+        return time.perf_counter() - self._epoch
+
+    # -- recording -----------------------------------------------------------
+
+    def add_span(self, name: str, track: str, t0: float, t1: float,
+                 clock: str = "virtual", **args) -> Span:
+        """Record a finished interval (the virtual-time entry point)."""
+        if clock not in _CLOCKS:
+            raise ValueError(f"unknown clock {clock!r}; expected one of {_CLOCKS}")
+        span = Span(name=name, clock=clock, track=track,
+                    t0=float(t0), t1=float(t1), args=args)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def instant(self, name: str, track: str, t: float,
+                clock: str = "virtual", **args) -> Span:
+        """A zero-duration mark (a scheduler grant, a retry)."""
+        return self.add_span(name, track, t, t, clock=clock, **args)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", **args):
+        """Wall-clock span around a block of real work.
+
+        Exceptions propagate; the span is still recorded (annotated with
+        the error type) so failed attempts show up in the trace.
+        """
+        t0 = self.now()
+        try:
+            yield
+        except BaseException as exc:
+            self.add_span(name, track, t0, self.now(), clock="wall",
+                          error=type(exc).__name__, **args)
+            raise
+        self.add_span(name, track, t0, self.now(), clock="wall", **args)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Snapshot of all spans recorded so far (insertion order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def tracks(self, clock: str | None = None) -> list[str]:
+        """Distinct track names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            if clock is None or span.clock == clock:
+                seen.setdefault(span.track, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# -- the process-wide active tracer -------------------------------------------
+
+#: ``None`` means tracing is off; instrumentation sites must check this and
+#: do nothing.  A module global (not a contextvar) so the check costs one
+#: dict load — and so engine worker threads see the tracer their parent
+#: activated without any context plumbing.
+_ACTIVE: Tracer | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_tracer() -> Tracer | None:
+    """The currently-activated tracer, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(tracer: Tracer):
+    """Make ``tracer`` the process-wide active tracer for the block.
+
+    Nested activation is rejected: two live tracers would silently split
+    the span stream.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None:
+            raise RuntimeError("a tracer is already active in this process")
+        _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE = None
+
+
+@contextmanager
+def tracing():
+    """Build, activate, and yield a fresh :class:`Tracer`."""
+    with activate(Tracer()) as tracer:
+        yield tracer

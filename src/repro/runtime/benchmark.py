@@ -32,6 +32,7 @@ from repro.compressors import get_compressor
 from repro.compressors.bitstream import pack_bits, unpack_bits
 from repro.compressors.huffman import huffman_decode, huffman_encode
 from repro.compressors.quantizer import LinearQuantizer
+from repro.obs.trace import active_tracer
 
 __all__ = [
     "BENCH_DATASETS",
@@ -221,7 +222,14 @@ def run_kernels(
             if prepared is None:
                 continue
             fn, n_symbols, n_bytes = prepared
-            seconds = _best_seconds(fn, repeats)
+            tracer = active_tracer()
+            if tracer is None:
+                seconds = _best_seconds(fn, repeats)
+            else:
+                with tracer.span(f"bench:{spec.name}", track=f"bench:{dataset}",
+                                 kernel=spec.name, dataset=dataset,
+                                 n_symbols=int(n_symbols)):
+                    seconds = _best_seconds(fn, repeats)
             results.append(
                 {
                     "kernel": spec.name,
@@ -234,6 +242,10 @@ def run_kernels(
                     "calls": int(repeats) + 1,
                 }
             )
+            if tracer is not None:
+                base = f"bench.{spec.name}.{dataset}"
+                tracer.metrics.gauge(f"{base}.mb_per_s").set(n_bytes / seconds / 1e6)
+                tracer.metrics.gauge(f"{base}.sym_per_s").set(n_symbols / seconds)
     return {
         "schema_version": SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),

@@ -31,12 +31,15 @@ approximation.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+
+from repro.obs.trace import active_tracer
 
 from repro.errors import ConfigurationError
 from repro.runtime import registry
@@ -75,6 +78,13 @@ class SweepEvent:
     cached: bool = False
     attempt: int = 0
     error: str = ""
+    #: Wall seconds since the run started when this event was emitted.
+    #: Observability payload only — never part of records or cache keys.
+    wall_time_s: float = 0.0
+    #: Duration of the attempt behind a "point" event (0.0 for cache hits;
+    #: for process-pool points this spans submit→completion, queueing
+    #: included, since the worker clock is not observable from the parent).
+    attempt_s: float = 0.0
 
 
 @dataclass
@@ -205,12 +215,18 @@ class SweepEngine:
         self.fault_injector = fault_injector
         self.stats = EngineStats()
         self._manifest: SweepManifest | None = None
+        self._run_t0: float | None = None
 
     # -- internals -----------------------------------------------------------
 
     def _emit(self, event: SweepEvent) -> None:
-        if self.on_event is not None:
-            self.on_event(event)
+        if self.on_event is None:
+            return
+        if self._run_t0 is not None and event.wall_time_s == 0.0:
+            event = dataclasses.replace(
+                event, wall_time_s=time.perf_counter() - self._run_t0
+            )
+        self.on_event(event)
 
     def _key(self, point: GridPoint) -> str:
         # The fingerprint is recomputed per lookup, not cached at engine
@@ -227,7 +243,16 @@ class SweepEngine:
         """One serial/thread attempt, with any injected fault applied."""
         if self.fault_injector is not None:
             self.fault_injector.apply(key, attempt)
-        return self._compute_local(point)
+        tracer = active_tracer()
+        if tracer is None:
+            return self._compute_local(point)
+        import threading
+
+        with tracer.span(
+            f"evaluate:{point.op}", track=threading.current_thread().name,
+            op=point.op, key=key[:12], attempt=attempt,
+        ):
+            return self._compute_local(point)
 
     def _testbed_config(self) -> dict:
         """Picklable kwargs that rebuild an equivalent testbed in a worker."""
@@ -242,7 +267,8 @@ class SweepEngine:
 
     # -- completion / failure bookkeeping ------------------------------------
 
-    def _complete(self, task: _Task, record, total: int) -> None:
+    def _complete(self, task: _Task, record, total: int,
+                  attempt_s: float = 0.0) -> None:
         self.store.put(task.key, record)
         if (
             self.fault_injector is not None
@@ -255,7 +281,7 @@ class SweepEngine:
         self.stats.computed += 1
         self._emit(
             SweepEvent("point", index=task.index, total=total,
-                       op=task.point.op, key=task.key)
+                       op=task.point.op, key=task.key, attempt_s=attempt_s)
         )
 
     def _should_retry(self, task: _Task, exc: BaseException) -> bool:
@@ -305,6 +331,7 @@ class SweepEngine:
             task = _Task(index, key, point)
             while True:
                 task.attempts += 1
+                attempt_t0 = time.perf_counter()
                 try:
                     record = self._attempt_local(point, key, task.attempts)
                 except Exception as exc:
@@ -317,7 +344,8 @@ class SweepEngine:
                     computed[key] = self._fail(task, exc, total, reason="error")
                     break
                 computed[key] = record
-                self._complete(task, record, total)
+                self._complete(task, record, total,
+                               attempt_s=time.perf_counter() - attempt_t0)
                 break
         return computed
 
@@ -367,7 +395,7 @@ class SweepEngine:
             (0.0, _Task(index, key, point)) for index, key, point in pending
         )
         pool = self._make_pool()
-        futures: dict = {}  # Future -> (task, deadline | None)
+        futures: dict = {}  # Future -> (task, deadline | None, submit_t)
         abandoned: set = set()  # timed-out thread futures; results discarded
         try:
             while queue or futures:
@@ -383,14 +411,14 @@ class SweepEngine:
                     deadline = (
                         now + policy.timeout_s if policy.timeout_s is not None else None
                     )
-                    futures[fut] = (task, deadline)
+                    futures[fut] = (task, deadline, time.monotonic())
                 queue = deferred
                 if not futures:
                     # Everything is backing off; sleep to the nearest ready_at.
                     time.sleep(max(0.0, min(r for r, _ in queue) - time.monotonic()))
                     continue
                 wait_s = None
-                deadlines = [d for _, d in futures.values() if d is not None]
+                deadlines = [d for _, d, _ in futures.values() if d is not None]
                 if deadlines:
                     wait_s = max(0.0, min(deadlines) - time.monotonic())
                 if queue:
@@ -405,7 +433,7 @@ class SweepEngine:
                     if fut in abandoned:
                         abandoned.discard(fut)  # late result of a timed-out try
                         continue
-                    task, _deadline = futures.pop(fut)
+                    task, _deadline, submit_t = futures.pop(fut)
                     try:
                         record = fut.result()
                     except BrokenProcessPool as exc:
@@ -432,11 +460,12 @@ class SweepEngine:
                             )
                     else:
                         computed[task.key] = record
-                        self._complete(task, record, total)
+                        self._complete(task, record, total,
+                                       attempt_s=time.monotonic() - submit_t)
                 if pool_broken:
                     # Requeue any stragglers the pool manager has not failed
                     # yet (uncharged: their fate is already decided).
-                    for fut, (task, _deadline) in list(futures.items()):
+                    for fut, (task, _deadline, _submit_t) in list(futures.items()):
                         queue.append((0.0, task))
                     futures.clear()
                     pool.shutdown(wait=False)
@@ -449,11 +478,11 @@ class SweepEngine:
                 # rather than a timeout it never had a chance to beat.
                 now = time.monotonic()
                 expired = []
-                for fut, (task, deadline) in list(futures.items()):
+                for fut, (task, deadline, submit_t) in list(futures.items()):
                     if deadline is None or deadline > now or fut.done():
                         continue
                     if not fut.running():
-                        futures[fut] = (task, now + policy.timeout_s)
+                        futures[fut] = (task, now + policy.timeout_s, submit_t)
                         continue
                     expired.append((fut, task))
                 if not expired:
@@ -480,7 +509,7 @@ class SweepEngine:
                 else:
                     # Reclaim stuck workers: kill the pool, re-queue the
                     # innocent in-flight points uncharged, start fresh.
-                    for fut, (task, _deadline) in list(futures.items()):
+                    for fut, (task, _deadline, _submit_t) in list(futures.items()):
                         queue.append((0.0, task))
                     futures.clear()
                     self._kill_pool(pool)
@@ -515,6 +544,7 @@ class SweepEngine:
                 total=len(set(keys)),
             ).open()
         self._manifest = manifest
+        self._run_t0 = time.perf_counter()
         try:
             self._emit(SweepEvent("start", total=len(points)))
 
@@ -553,6 +583,11 @@ class SweepEngine:
             return [results[i] for i in range(len(points))]
         finally:
             self._manifest = None
+            self._run_t0 = None
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.metrics.merge("engine", self.stats.snapshot())
+                tracer.metrics.merge("store", self.store.stats)
             if manifest is not None:
                 manifest.close()
 

@@ -64,6 +64,7 @@ __all__ = [
     "record_types",
     "register",
     "register_record",
+    "strip_meta",
     "to_wire",
     "unregister",
 ]
@@ -574,8 +575,25 @@ def _check_object(record, schema: dict, where: str, errors: list) -> None:
             _check_value(value, sub, f"{where}.{name}", errors)
 
 
+def strip_meta(records):
+    """Drop ``__meta__``-tagged elements from a CLI-format JSON array.
+
+    ``repro sweep --json`` appends one trailing ``{"__meta__": ...}``
+    element with engine/store run statistics; it is observability payload,
+    not a record, so every schema/invariant consumer skips it here.
+    """
+    if not isinstance(records, list):
+        return records
+    return [r for r in records if not (isinstance(r, dict) and "__meta__" in r)]
+
+
 def check_records(kind: ExperimentKind, records) -> list:
-    """All schema + invariant violations in CLI-format JSON ``records``."""
+    """All schema + invariant violations in CLI-format JSON ``records``.
+
+    ``__meta__`` elements (sweep run statistics) are skipped, never
+    validated — they are deliberately outside every record schema.
+    """
+    records = strip_meta(records)
     if not isinstance(records, list) or not records:
         return ["expected a non-empty JSON array of records"]
     errors: list[str] = []
@@ -597,6 +615,7 @@ def check_record_payloads(record_cls: type, records) -> list:
     (campaign results, nested plugin payloads) — so
     ``tools/check_record_schemas.py`` can validate their JSON too.
     """
+    records = strip_meta(records)
     if not isinstance(records, list) or not records:
         return ["expected a non-empty JSON array of records"]
     errors: list[str] = []

@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import active_tracer
 
 __all__ = [
     "CACHE_VERSION",
@@ -293,6 +294,16 @@ class ResultStore:
 
     def get(self, key: str):
         """The cached record for ``key``, or None (counted as a miss)."""
+        tracer = active_tracer()
+        if tracer is None:
+            return self._get(key)
+        t0 = tracer.now()
+        record = self._get(key)
+        tracer.add_span("store.get", "store", t0, tracer.now(), clock="wall",
+                        key=key[:12], hit=record is not None)
+        return record
+
+    def _get(self, key: str):
         with self._lock:
             if key in self._mem:
                 self.memory_hits += 1
@@ -349,6 +360,16 @@ class ResultStore:
 
     def put(self, key: str, record) -> None:
         """Insert a record; persists to disk when a cache_dir is set."""
+        tracer = active_tracer()
+        if tracer is None:
+            self._put(key, record)
+            return
+        t0 = tracer.now()
+        self._put(key, record)
+        tracer.add_span("store.put", "store", t0, tracer.now(), clock="wall",
+                        key=key[:12], disk=self.cache_dir is not None)
+
+    def _put(self, key: str, record) -> None:
         with self._lock:
             self._mem[key] = record
         if self.cache_dir is None:

@@ -26,10 +26,17 @@ from dataclasses import dataclass
 from repro.cluster.events import EventLoop, Process
 from repro.energy.measurement import Interval
 from repro.errors import SimulationError
+from repro.obs.trace import active_tracer
 from repro.workloads.checkpoint import CheckpointSpec
 from repro.workloads.failures import FailureTimeline
 
-__all__ = ["LifecycleStats", "lifecycle_process", "run_lifecycle", "compact_intervals"]
+__all__ = [
+    "LifecycleStats",
+    "lifecycle_process",
+    "run_lifecycle",
+    "compact_intervals",
+    "trace_intervals",
+]
 
 #: Hard cap on failures per lifetime: a work_s ≫ mttf_s configuration would
 #: otherwise loop (almost) forever without ever committing a segment.
@@ -89,6 +96,19 @@ def compact_intervals(intervals, labels: set[str] | None = None) -> list[Interva
         out.append(Interval(t, t + d, iv.active_cores, iv.activity, iv.label))
         t += d
     return out
+
+
+def trace_intervals(tracer, intervals, track: str, offset_s: float = 0.0) -> None:
+    """Emit one virtual span per labelled interval onto ``track``.
+
+    ``offset_s`` re-bases a locally-timed lifecycle (simulated from t=0)
+    onto an absolute cluster timeline (the tenant's start time).
+    """
+    for iv in intervals:
+        tracer.add_span(
+            iv.label, track, offset_s + iv.start_s, offset_s + iv.end_s,
+            active_cores=iv.active_cores, activity=iv.activity,
+        )
 
 
 def lifecycle_process(
@@ -205,8 +225,14 @@ def run_lifecycle(
     restart_cores: int = 1,
     restart_activity: float = 1.0,
     loop: EventLoop | None = None,
+    trace_track: str | None = None,
 ) -> LifecycleStats:
-    """Simulate one lifetime to completion and return its stats."""
+    """Simulate one lifetime to completion and return its stats.
+
+    With ``trace_track`` set and a tracer active, the interval timeline is
+    emitted as virtual spans on that track after the run (tracing never
+    perturbs the simulation).
+    """
     loop = loop or EventLoop()
     proc: Process = loop.spawn(
         lifecycle_process(
@@ -224,4 +250,8 @@ def run_lifecycle(
     loop.run()
     if not proc.finished:  # pragma: no cover - defensive
         raise SimulationError("lifecycle process did not finish")
+    if trace_track is not None:
+        tracer = active_tracer()
+        if tracer is not None:
+            trace_intervals(tracer, proc.result.intervals, trace_track)
     return proc.result

@@ -340,7 +340,8 @@ class TestCheckpointCli:
             "--scale", "tiny", "--mttfs", "inf", "--work", "600", "--json",
         ])
         assert rc == 0
-        records = json.loads(capsys.readouterr().out)
+        records = [r for r in json.loads(capsys.readouterr().out)
+                   if "__record__" in r]
         assert all(r["__record__"] == "CheckpointPoint" for r in records)
         assert records[0]["mttf_s"] == "inf"  # RFC-safe non-finite encoding
 

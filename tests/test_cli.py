@@ -135,7 +135,8 @@ class TestSweepDvfs:
         import json
 
         assert main(self.ARGS + ["--json"]) == 0
-        records = json.loads(capsys.readouterr().out)
+        wire = json.loads(capsys.readouterr().out)
+        records = [r for r in wire if "__record__" in r]
         assert {r["__record__"] for r in records} == {"DvfsPoint"}
         assert {r["freq_ghz"] for r in records} == {1.0, 3.7}
         # Baseline psnr is emitted as the RFC-safe string form of infinity.
@@ -159,10 +160,16 @@ class TestSweep:
         import json
 
         assert main(self.ARGS + ["--json"]) == 0
-        records = json.loads(capsys.readouterr().out)
+        wire = json.loads(capsys.readouterr().out)
+        records = [r for r in wire if "__record__" in r]
         assert len(records) == 4
         assert {r["__record__"] for r in records} == {"RoundtripRecord"}
         assert {r["codec"] for r in records} == {"szx", "sz3"}
+        # The trailing element is the run telemetry, not a record.
+        meta = wire[-1]["__meta__"]
+        assert meta["engine"]["computed"] == 4
+        assert meta["store"]["entries"] == 4
+        assert meta["kind"] == "quality"
 
     def test_json_output_is_strict_even_with_infinite_psnr(self, capsys):
         import json

@@ -104,7 +104,7 @@ def assert_kind_conformance(testbed, kind, tmp_path, capsys) -> None:
     from repro.cli import main
 
     assert main(cli_args(kind)) == 0
-    emitted = json.loads(capsys.readouterr().out)
+    emitted = registry.strip_meta(json.loads(capsys.readouterr().out))
     assert len(emitted) == len(spec.points())
     assert kind.check_records(emitted) == []
 
@@ -178,7 +178,7 @@ class TestConformance:
 
         spec, _, _ = shared_run(testbed, kind)
         assert main(cli_args(kind)) == 0
-        emitted = json.loads(capsys.readouterr().out)
+        emitted = registry.strip_meta(json.loads(capsys.readouterr().out))
         assert len(emitted) == len(spec.points())
         assert kind.check_records(emitted) == []
 

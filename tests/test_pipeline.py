@@ -352,7 +352,8 @@ class TestPipelineCLI:
             "--n-chunks", "4", "--json",
         ])
         assert rc == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = [r for r in json.loads(capsys.readouterr().out)
+                   if "__record__" in r]
         assert len(payload) == 2
         assert all(r["__record__"] == "PipelinePoint" for r in payload)
         for r in payload:
@@ -370,7 +371,8 @@ class TestPipelineCLI:
             "--n-chunks", "4", "--no-overlap", "--no-baseline", "--json",
         ])
         assert rc == 0
-        (rec,) = json.loads(capsys.readouterr().out)
+        (rec,) = [r for r in json.loads(capsys.readouterr().out)
+                  if "__record__" in r]
         assert rec["overlap"] is False
         assert rec["total_time_s"] == pytest.approx(
             rec["compress_time_s"] + rec["write_time_s"]

@@ -231,7 +231,8 @@ class TestToyKindEndToEnd:
 
         argv = cli_args(toy_kind)
         assert main(argv) == 0
-        emitted = json.loads(capsys.readouterr().out)
+        emitted = [r for r in json.loads(capsys.readouterr().out)
+                   if "__record__" in r]
         assert {rec["__record__"] for rec in emitted} == {"ToyPoint"}
         assert toy_kind.check_records(emitted) == []
         # No registered table renderer: the generic repr table still prints.

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""CI gate: validate a BENCH_kernels.json against the harness schema.
+"""DEPRECATED shim: bench documents now validate through the unified checker.
 
-Usage::
+The benchmark document contract (``schema_version``, per-kernel result
+keys, history entries) is checked by
+:func:`repro.runtime.benchmark.load_doc`; the unified
+``check_record_schemas.py`` dispatches ``bench`` straight to it, so this
+wrapper only keeps the old CI entrypoint and its exit codes working.
+Prefer::
 
-    PYTHONPATH=src python tools/check_bench_schema.py BENCH_kernels.json
+    python tools/check_record_schemas.py bench BENCH_kernels.json
 
-Exits non-zero with a message on schema drift (missing keys, wrong types,
-version bumps).  Absolute timings are deliberately NOT checked — CI runners
-make them meaningless; only the document shape is contractual.
+Absolute timings are deliberately NOT checked — CI runners make them
+meaningless; only the document shape is contractual.
 """
 
 from __future__ import annotations
@@ -15,25 +19,22 @@ from __future__ import annotations
 import pathlib
 import sys
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from repro.runtime.benchmark import load_doc  # noqa: E402
+import check_record_schemas as _unified  # noqa: E402
+
+_DEPRECATION = (
+    "check_bench_schema.py is deprecated; use "
+    "`check_record_schemas.py bench BENCH_kernels.json`"
+)
 
 
 def main(argv: list[str]) -> int:
     if len(argv) != 1:
         print("usage: check_bench_schema.py BENCH_kernels.json", file=sys.stderr)
         return 2
-    try:
-        doc = load_doc(argv[0])
-    except (OSError, ValueError) as exc:
-        print(f"benchmark schema drift in {argv[0]}: {exc}", file=sys.stderr)
-        return 1
-    print(
-        f"{argv[0]}: schema v{doc['schema_version']} ok "
-        f"({len(doc['results'])} results, {len(doc['history'])} runs in history)"
-    )
-    return 0
+    print(f"note: {_DEPRECATION}", file=sys.stderr)
+    return _unified.main(["check_record_schemas.py", "bench", argv[0]])
 
 
 if __name__ == "__main__":

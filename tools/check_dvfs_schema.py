@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Thin shim: DVFS records now validate through the unified checker.
+"""DEPRECATED shim: DVFS records now validate through the unified checker.
 
 The schema and the physical invariants (compression time never increases
 with the core clock, the uncompressed baseline carries no codec cost, every
@@ -31,6 +31,11 @@ def main(argv: list[str]) -> int:
     if len(argv) != 2:
         print(f"usage: check_{KIND}_schema.py DVFS_sweep.json", file=sys.stderr)
         return 2
+    print(
+        f"note: check_{KIND}_schema.py is deprecated; use "
+        f"`check_record_schemas.py {KIND} {argv[1]}`",
+        file=sys.stderr,
+    )
     return _unified.main([argv[0], KIND, argv[1]])
 
 

@@ -17,7 +17,14 @@ Usage::
 ``KIND`` may also name a record dataclass registered through
 ``registry.register_record`` without owning a kind (``CampaignResult``,
 ``CheckpointCampaignResult``): those validate schema-only, so campaign
-JSON is gated like every registered kind's.
+JSON is gated like every registered kind's.  Two spellings are special:
+
+- ``bench`` validates a ``BENCH_kernels.json`` benchmark document
+  (:func:`repro.runtime.benchmark.load_doc`) — a versioned dict with
+  history, not a sweep record array;
+- sweep arrays may carry a trailing ``{"__meta__": ...}`` element
+  (``repro sweep --json`` run telemetry); it is stripped before
+  validation, never schema-checked.
 
 Exits non-zero (listing the violations) on any failure, so schema or model
 drift fails the build instead of shipping silently.
@@ -38,6 +45,15 @@ def check(kind_name: str, path) -> list[str]:
     import repro.dataset  # noqa: F401  (registers the `dataset` plugin kind)
     from repro.errors import ConfigurationError
     from repro.runtime import registry
+
+    if kind_name == "bench":
+        from repro.runtime.benchmark import load_doc
+
+        try:
+            load_doc(path)
+        except (OSError, ValueError) as exc:
+            return [f"benchmark schema drift in {path}: {exc}"]
+        return []
 
     record_cls = None
     try:
@@ -67,7 +83,7 @@ def main(argv: list[str]) -> int:
         for err in errors:
             print(f"FAIL: {err}", file=sys.stderr)
         return 1
-    print(f"{argv[2]}: {argv[1]} sweep records OK")
+    print(f"{argv[2]}: {argv[1]} records OK")
     return 0
 
 

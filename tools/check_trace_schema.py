@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI gate: validate a Chrome trace-event JSON emitted by ``--trace``.
+
+Checks the structural contract that makes the file loadable in Perfetto /
+``chrome://tracing`` AND machine-recoverable by
+:func:`repro.obs.export.load_trace`:
+
+- top level is an object with a ``traceEvents`` list;
+- every event carries ``name``/``ph``/``pid``/``tid``;
+- ``X`` (complete) events have non-negative ``ts`` and ``dur``;
+- ``i`` (instant) events have non-negative ``ts`` and a scope ``s``;
+- ``M`` (metadata) events are ``process_name``/``thread_name`` with an
+  ``args.name`` string;
+- span events carry the exact-seconds ``t0_s``/``t1_s`` args consistent
+  with the microsecond display fields (these args are the artifact of
+  record — the bit-identity tests read them back);
+- every span event's ``(pid, tid)`` resolves to a named thread track.
+
+Usage::
+
+    python tools/check_trace_schema.py TRACE.json
+
+Exits non-zero listing the violations.  Virtual-clock timestamps are
+simulated seconds, so absolute magnitudes are never checked — only shape
+and internal consistency.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Display microseconds are derived from the exact seconds by a single
+#: multiply; allow only float-noise disagreement between the two.
+_REL_TOL = 1e-9
+
+
+def _check_event(i: int, event, named_tracks: set) -> list[str]:
+    where = f"traceEvents[{i}]"
+    if not isinstance(event, dict):
+        return [f"{where}: not an object"]
+    errors = []
+    for key in ("name", "ph", "pid", "tid"):
+        if key not in event:
+            errors.append(f"{where}: missing {key!r}")
+    if errors:
+        return errors
+    ph = event["ph"]
+    if ph == "M":
+        if event["name"] not in ("process_name", "thread_name"):
+            errors.append(f"{where}: unknown metadata event {event['name']!r}")
+        elif not isinstance((event.get("args") or {}).get("name"), str):
+            errors.append(f"{where}: metadata event lacks args.name")
+        return errors
+    if ph not in ("X", "i"):
+        errors.append(f"{where}: unexpected phase {ph!r}")
+        return errors
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        errors.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"{where}: dur must be a non-negative number, got {dur!r}")
+    else:
+        if event.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant event needs scope s in t/p/g")
+    if (event["pid"], event["tid"]) not in named_tracks:
+        errors.append(
+            f"{where}: pid/tid ({event['pid']}, {event['tid']}) has no "
+            "thread_name metadata"
+        )
+    args = event.get("args")
+    if not isinstance(args, dict) or "t0_s" not in args or "t1_s" not in args:
+        errors.append(f"{where}: args must carry exact-seconds t0_s/t1_s")
+        return errors
+    t0_s, t1_s = args["t0_s"], args["t1_s"]
+    if not isinstance(t0_s, (int, float)) or not isinstance(t1_s, (int, float)):
+        errors.append(f"{where}: t0_s/t1_s must be numbers")
+        return errors
+    if t1_s < t0_s:
+        errors.append(f"{where}: t1_s {t1_s} precedes t0_s {t0_s}")
+    if isinstance(ts, (int, float)):
+        scale = max(abs(t0_s) * 1e6, 1.0)
+        if abs(ts - t0_s * 1e6) > _REL_TOL * scale:
+            errors.append(
+                f"{where}: ts {ts} disagrees with t0_s {t0_s} (µs vs s)"
+            )
+        if ph == "X" and isinstance(event.get("dur"), (int, float)):
+            span_us = (t1_s - t0_s) * 1e6
+            scale = max(abs(span_us), 1.0)
+            if abs(event["dur"] - span_us) > _REL_TOL * scale:
+                errors.append(
+                    f"{where}: dur {event['dur']} disagrees with "
+                    f"t1_s - t0_s = {t1_s - t0_s}s"
+                )
+    return errors
+
+
+def check(path) -> list[str]:
+    """All trace-format violations in ``path`` (empty list = valid)."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be a list"]
+    named_tracks = {
+        (e["pid"], e["tid"])
+        for e in events
+        if isinstance(e, dict)
+        and e.get("ph") == "M"
+        and e.get("name") == "thread_name"
+        and "pid" in e
+        and "tid" in e
+    }
+    errors: list[str] = []
+    for i, event in enumerate(events):
+        errors.extend(_check_event(i, event, named_tracks))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_trace_schema.py TRACE.json", file=sys.stderr)
+        return 2
+    errors = check(argv[1])
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    with open(argv[1], encoding="utf-8") as fh:
+        n = sum(1 for e in json.load(fh)["traceEvents"] if e.get("ph") != "M")
+    print(f"{argv[1]}: valid Chrome trace ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
